@@ -1,0 +1,79 @@
+package koios
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/index"
+)
+
+// benchRunner builds a runner at the scale used for the in-repo benchmarks.
+// The full documented run (EXPERIMENTS.md) uses cmd/koios-bench at a larger
+// scale; these testing.B entry points keep every table and figure wired into
+// `go test -bench` at a budget of seconds per experiment.
+func benchRunner() *bench.Runner {
+	return bench.NewRunner(bench.Config{
+		Scale:              0.05,
+		K:                  10,
+		Alpha:              0.8,
+		Partitions:         4,
+		Workers:            4,
+		QueriesPerInterval: 2,
+		Timeout:            60 * time.Second,
+	}, io.Discard)
+}
+
+func runExp(b *testing.B, exp string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		if err := r.Run(exp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact (Tables I–V, Figures 5–8, the SilkMoth
+// comparison of §VIII-B, and the design-choice ablations of DESIGN.md §6).
+
+func BenchmarkTable1Datasets(b *testing.B)        { runExp(b, "table1") }
+func BenchmarkTable2PruningPower(b *testing.B)    { runExp(b, "table2") }
+func BenchmarkTable3ResponseTime(b *testing.B)    { runExp(b, "table3") }
+func BenchmarkTable4OpenDataPruning(b *testing.B) { runExp(b, "table4") }
+func BenchmarkTable5WDCPruning(b *testing.B)      { runExp(b, "table5") }
+func BenchmarkFig5aOpenDataTime(b *testing.B)     { runExp(b, "fig5a") }
+func BenchmarkFig5bcOpenDataPhases(b *testing.B)  { runExp(b, "fig5bc") }
+func BenchmarkFig5dOpenDataMemory(b *testing.B)   { runExp(b, "fig5d") }
+func BenchmarkFig6aWDCTime(b *testing.B)          { runExp(b, "fig6a") }
+func BenchmarkFig6bcWDCPhases(b *testing.B)       { runExp(b, "fig6bc") }
+func BenchmarkFig6dWDCMemory(b *testing.B)        { runExp(b, "fig6d") }
+func BenchmarkFig7aPartitions(b *testing.B)       { runExp(b, "fig7a") }
+func BenchmarkFig7bAlpha(b *testing.B)            { runExp(b, "fig7b") }
+func BenchmarkFig7cK(b *testing.B)                { runExp(b, "fig7c") }
+func BenchmarkFig7dMemAlpha(b *testing.B)         { runExp(b, "fig7d") }
+func BenchmarkFig8Quality(b *testing.B)           { runExp(b, "fig8") }
+func BenchmarkSilkMothComparison(b *testing.B)    { runExp(b, "silkmoth") }
+func BenchmarkAblation(b *testing.B)              { runExp(b, "ablation") }
+
+// BenchmarkSearchSingleQuery measures one engine query end to end without
+// harness overhead, per dataset kind — the microbenchmark behind the rows of
+// Table III.
+func BenchmarkSearchSingleQuery(b *testing.B) {
+	for _, kind := range datagen.Kinds() {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			ds := datagen.GenerateDefault(kind, 0.05)
+			src := index.NewExact(ds.Repo.Vocabulary(), ds.Model.Vector)
+			eng := core.NewEngine(ds.Repo, src, core.Options{K: 10, Alpha: 0.8, Partitions: 4, Workers: 4})
+			q := datagen.NewBenchmark(ds, 1).Queries[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Search(q.Elements)
+			}
+		})
+	}
+}

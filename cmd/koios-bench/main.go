@@ -1,0 +1,66 @@
+// Command koios-bench regenerates the paper's evaluation tables and figures
+// on the synthesized datasets.
+//
+// Usage:
+//
+//	koios-bench -exp table2                 # one experiment
+//	koios-bench -exp all -scale 0.25        # everything, quarter scale
+//	koios-bench -list                       # available experiments
+//
+// See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment name or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = documented benchmark scale)")
+		k       = flag.Int("k", 10, "result size k")
+		alpha   = flag.Float64("alpha", 0.8, "element similarity threshold α")
+		parts   = flag.Int("partitions", 10, "number of repository partitions")
+		workers = flag.Int("workers", 4, "verification workers per partition")
+		queries = flag.Int("queries", 0, "override queries per benchmark interval (0 = dataset default)")
+		timeout = flag.Duration("timeout", 120*time.Second, "per-query baseline timeout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Println(e)
+		}
+		return
+	}
+
+	r := bench.NewRunner(bench.Config{
+		Scale:              *scale,
+		K:                  *k,
+		Alpha:              *alpha,
+		Partitions:         *parts,
+		Workers:            *workers,
+		QueriesPerInterval: *queries,
+		Timeout:            *timeout,
+	}, os.Stdout)
+
+	start := time.Now()
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			if err := r.Run(e); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	} else if err := r.Run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntotal bench time: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,117 @@
+// Command koios-datagen synthesizes one of the evaluation datasets and
+// writes it to stdout or a file, as JSON (sets + benchmark queries), TSV
+// (one set per line), or the binary store format that koios-server loads
+// (sets + queries + embedding vectors, gzip).
+//
+// Usage:
+//
+//	koios-datagen -dataset wdc -scale 0.1 -format tsv -o wdc.tsv
+//	koios-datagen -dataset dblp -format json | jq '.sets[0]'
+//	koios-datagen -dataset opendata -format store -o opendata.koios.gz
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	koios "repro"
+
+	"repro/internal/datagen"
+	"repro/internal/store"
+)
+
+type jsonDataset struct {
+	Name    string      `json:"name"`
+	Sets    []jsonSet   `json:"sets"`
+	Queries []jsonQuery `json:"queries"`
+}
+
+type jsonSet struct {
+	Name     string   `json:"name"`
+	Elements []string `json:"elements"`
+}
+
+type jsonQuery struct {
+	Interval  int      `json:"interval"`
+	SourceSet int      `json:"source_set"`
+	Elements  []string `json:"elements"`
+}
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "opendata", "dataset kind: dblp, opendata, twitter, wdc")
+		scale   = flag.Float64("scale", 0.1, "dataset scale factor")
+		format  = flag.String("format", "json", "output format: json or tsv")
+		outPath = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	ds, err := koios.GenerateDataset(*dataset, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	switch *format {
+	case "store":
+		// The store format needs the embedding model, so regenerate through
+		// the internal generator (same spec and seed as GenerateDataset).
+		gen := datagen.GenerateDefault(datagen.Kind(*dataset), *scale)
+		bench := datagen.NewBenchmark(gen, gen.Spec.Seed+1)
+		vecs, err := store.EncodeVectors(gen.Model.Dim(), gen.Repo.Vocabulary(), gen.Model.Vector)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		doc := &store.File{Name: *dataset, Vectors: vecs}
+		for _, s := range gen.Repo.Sets() {
+			doc.Sets = append(doc.Sets, store.Set{Name: s.Name, Elements: s.Elements})
+		}
+		for _, q := range bench.Queries {
+			doc.Queries = append(doc.Queries, store.Query{Interval: q.Interval, SourceSet: q.SourceSet, Elements: q.Elements})
+		}
+		if err := store.Write(w, doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "json":
+		doc := jsonDataset{Name: ds.Name}
+		for _, s := range ds.Collection {
+			doc.Sets = append(doc.Sets, jsonSet{Name: s.Name, Elements: s.Elements})
+		}
+		for _, q := range ds.Queries {
+			doc.Queries = append(doc.Queries, jsonQuery{Interval: q.Interval, SourceSet: q.SourceSet, Elements: q.Elements})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "tsv":
+		for _, s := range ds.Collection {
+			fmt.Fprintf(w, "%s\t%s\n", s.Name, strings.Join(s.Elements, "\t"))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(1)
+	}
+}

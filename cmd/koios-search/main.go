@@ -1,0 +1,74 @@
+// Command koios-search runs a single top-k semantic overlap query against a
+// synthesized dataset and prints the result with filter statistics.
+//
+// Usage:
+//
+//	koios-search -dataset opendata -scale 0.1 -query 3 -k 5
+//	koios-search -dataset twitter -tokens "word1,word2,word3"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	koios "repro"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "opendata", "dataset kind: dblp, opendata, twitter, wdc")
+		scale   = flag.Float64("scale", 0.1, "dataset scale factor")
+		queryIx = flag.Int("query", 0, "benchmark query index to run")
+		tokens  = flag.String("tokens", "", "comma-separated query tokens (overrides -query)")
+		k       = flag.Int("k", 10, "result size")
+		alpha   = flag.Float64("alpha", 0.8, "element similarity threshold")
+		parts   = flag.Int("partitions", 4, "repository partitions")
+		workers = flag.Int("workers", 4, "verification workers per partition")
+	)
+	flag.Parse()
+
+	ds, err := koios.GenerateDataset(*dataset, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset %s: %d sets\n", ds.Name, len(ds.Collection))
+
+	var query []string
+	switch {
+	case *tokens != "":
+		for _, t := range strings.Split(*tokens, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				query = append(query, t)
+			}
+		}
+	case *queryIx >= 0 && *queryIx < len(ds.Queries):
+		q := ds.Queries[*queryIx]
+		query = q.Elements
+		fmt.Printf("query: benchmark #%d (from set %d, %d elements)\n", *queryIx, q.SourceSet, len(query))
+	default:
+		fmt.Fprintf(os.Stderr, "query index %d out of range (0..%d)\n", *queryIx, len(ds.Queries)-1)
+		os.Exit(1)
+	}
+
+	eng := koios.NewWithVectors(ds.Collection, ds.Vectors, koios.Config{
+		K: *k, Alpha: *alpha, Partitions: *parts, Workers: *workers, ExactScores: true,
+	})
+	results, stats := eng.Search(query)
+
+	fmt.Printf("\ntop-%d results (α=%.2f):\n", *k, *alpha)
+	for rank, r := range results {
+		fmt.Printf("  #%-3d %-18s score=%-8.2f verified=%v\n", rank+1, r.SetName, r.Score, r.Verified)
+	}
+	fmt.Printf("\nphases: refine=%v postproc=%v  (stream tuples: %d)\n",
+		stats.RefineTime.Round(1000), stats.PostprocTime.Round(1000), stats.StreamTuples)
+	fmt.Printf("filters: candidates=%d iUB-pruned=%d no-EM=%d EM-early=%d EM=%d finalize-EM=%d\n",
+		stats.Candidates, stats.IUBPruned, stats.NoEM, stats.EMEarly, stats.EMFull, stats.FinalizeEM)
+	fmt.Printf("memory: %.2f MB (stream %.2f, refine %.2f, postproc %.2f)\n",
+		float64(stats.TotalBytes())/1048576,
+		float64(stats.MemStreamBytes)/1048576,
+		float64(stats.MemCandBytes)/1048576,
+		float64(stats.MemPostprocBytes)/1048576)
+}

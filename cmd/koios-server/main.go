@@ -1,0 +1,79 @@
+// Command koios-server serves top-k semantic overlap search over HTTP.
+//
+// It loads a dataset either from a file written by `koios-datagen -format
+// store` or by generating one of the synthetic evaluation corpora, builds
+// the indexes once, and answers JSON queries:
+//
+//	koios-server -dataset opendata -scale 0.1 -addr :7411
+//	koios-server -data wdc.koios.gz -addr :7411
+//
+//	curl -s localhost:7411/v1/info
+//	curl -s -X POST localhost:7411/v1/search \
+//	     -d '{"query": ["alpha", "beta"], "k": 5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/server"
+	"repro/internal/sets"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7411", "listen address")
+		data    = flag.String("data", "", "dataset file written by koios-datagen -format store")
+		dataset = flag.String("dataset", "opendata", "synthetic dataset kind when -data is empty")
+		scale   = flag.Float64("scale", 0.1, "synthetic dataset scale")
+		k       = flag.Int("k", 10, "default result size")
+		alpha   = flag.Float64("alpha", 0.8, "element similarity threshold")
+		parts   = flag.Int("partitions", 4, "repository partitions")
+		workers = flag.Int("workers", 4, "verification workers per partition")
+	)
+	flag.Parse()
+
+	repo, src, err := loadData(*data, *dataset, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := server.New(repo, src, server.Config{
+		K:          *k,
+		Alpha:      *alpha,
+		Partitions: *parts,
+		Workers:    *workers,
+	})
+	log.Printf("koios-server: %d sets, %d tokens, listening on %s", repo.Len(), len(repo.Vocabulary()), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func loadData(path, kind string, scale float64) (*sets.Repository, index.NeighborSource, error) {
+	if path != "" {
+		f, err := store.Load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		repo := f.Repository()
+		vecs, err := f.Vectors.Decode()
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(vecs) == 0 {
+			return nil, nil, fmt.Errorf("koios-server: %s has no vectors; regenerate with koios-datagen -format store", path)
+		}
+		src := index.NewExact(repo.Vocabulary(), func(tok string) ([]float32, bool) {
+			v, ok := vecs[tok]
+			return v, ok
+		})
+		return repo, src, nil
+	}
+	ds := datagen.GenerateDefault(datagen.Kind(kind), scale)
+	return ds.Repo, index.NewExact(ds.Repo.Vocabulary(), ds.Model.Vector), nil
+}

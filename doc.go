@@ -1,0 +1,41 @@
+// Package koios is an exact, efficient engine for top-k semantic overlap
+// set search, a from-scratch Go implementation of
+//
+//	Mundra, Zhang, Nargesian, Augsten:
+//	"Koios: Top-k Semantic Overlap Set Search", ICDE 2023.
+//
+// # The problem
+//
+// Given a query set Q of strings, a collection of candidate sets, and an
+// element similarity function sim (cosine over embeddings, Jaccard over
+// q-grams, …), the semantic overlap SO(Q,C) is the score of the maximum
+// bipartite matching between Q and C where an edge (q,c) weighs sim(q,c) if
+// sim(q,c) ≥ α and 0 otherwise. Semantic overlap generalizes the vanilla
+// (exact-match) overlap: synonyms, typos, and related entities contribute
+// to set similarity even when they share no characters. A top-k search
+// returns the k sets with the largest semantic overlap.
+//
+// Computing one semantic overlap requires an O(n³) assignment-problem
+// solve, so scanning a repository is infeasible. Koios is a
+// filter–verification framework: a refinement phase streams vocabulary
+// tokens in descending similarity to the query and maintains cheap,
+// incrementally tightening lower and upper bounds per candidate, pruning
+// the vast majority without any matching; a post-processing phase orders
+// the survivors by upper bound, skips matchings whose outcome is already
+// decided (No-EM filter), and aborts matchings whose Hungarian label sum —
+// itself an upper bound — falls below the running top-k threshold. The
+// result is exact.
+//
+// # Quick start
+//
+//	collection := []koios.Set{
+//	    {Name: "west-coast", Elements: []string{"LA", "Portland", "Seattle"}},
+//	    // ...
+//	}
+//	eng := koios.New(collection, koios.JaccardQGrams(3), koios.Config{K: 5, Alpha: 0.7})
+//	results, stats := eng.Search([]string{"Los Angeles", "Sea-Tac", "SFO"})
+//
+// For embedding-based similarity, use NewWithVectors with any func that
+// maps a token to its vector. See the examples/ directory for runnable
+// programs and DESIGN.md / EXPERIMENTS.md for the paper reproduction.
+package koios

@@ -1,0 +1,86 @@
+// Joinable-table discovery over an OpenData-like corpus — the dataset
+// discovery scenario of the paper's introduction.
+//
+// Each set is one table column (its distinct cell values). Given a query
+// column, the engine returns the columns most joinable with it under
+// *semantic* equality: typos and synonym values count toward joinability,
+// which plain value-overlap search misses. The example contrasts the
+// semantic top-k with vanilla overlap and reports filter effectiveness.
+//
+// Run with: go run ./examples/joinable
+package main
+
+import (
+	"fmt"
+	"time"
+
+	koios "repro"
+)
+
+func main() {
+	fmt.Println("Generating OpenData-like corpus (columns of distinct cell values)...")
+	ds, err := koios.GenerateDataset("opendata", 0.1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  %d columns, %d distinct values\n\n", len(ds.Collection), vocabSize(ds.Collection))
+
+	eng := koios.NewWithVectors(ds.Collection, ds.Vectors, koios.Config{
+		K:           5,
+		Alpha:       0.8,
+		Partitions:  4,
+		Workers:     4,
+		ExactScores: true,
+	})
+
+	// Also build a vanilla-overlap ranking for comparison: semantic overlap
+	// under the equality similarity is the vanilla overlap.
+	vanilla := koios.New(ds.Collection, koios.Exact(), koios.Config{K: 5, Alpha: 0.5, ExactScores: true})
+
+	query := ds.Queries[0]
+	fmt.Printf("Query column: #%d with %d values, e.g. %v\n\n",
+		query.SourceSet, len(query.Elements), query.Elements[:min(4, len(query.Elements))])
+
+	start := time.Now()
+	results, stats := eng.Search(query.Elements)
+	elapsed := time.Since(start)
+
+	fmt.Println("Most joinable columns by semantic overlap:")
+	for rank, r := range results {
+		v := koios.VanillaOverlap(query.Elements, ds.Collection[r.SetID].Elements)
+		fmt.Printf("  #%d  %-16s semantic=%.1f  vanilla=%d  (|C|=%d)\n",
+			rank+1, r.SetName, r.Score, v, len(ds.Collection[r.SetID].Elements))
+	}
+
+	vres, _ := vanilla.Search(query.Elements)
+	fmt.Println("\nTop columns by vanilla overlap (for contrast):")
+	for rank, r := range vres {
+		fmt.Printf("  #%d  %-16s vanilla=%.0f\n", rank+1, r.SetName, r.Score)
+	}
+
+	overlap := 0
+	vset := map[int]bool{}
+	for _, r := range vres {
+		vset[r.SetID] = true
+	}
+	for _, r := range results {
+		if vset[r.SetID] {
+			overlap++
+		}
+	}
+	fmt.Printf("\nResult intersection: %d/%d — semantic search surfaces joins vanilla misses.\n", overlap, len(results))
+	fmt.Printf("\nSearch took %v: %d candidates, %.1f%% pruned before any graph matching,\n",
+		elapsed, stats.Candidates, 100*float64(stats.IUBPruned)/float64(max(stats.Candidates, 1)))
+	fmt.Printf("%d exact matchings (%d aborted early by the label-sum filter).\n",
+		stats.EMFull+stats.FinalizeEM, stats.EMEarly)
+}
+
+func vocabSize(collection []koios.Set) int {
+	seen := map[string]bool{}
+	for _, s := range collection {
+		for _, e := range s.Elements {
+			seen[e] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,77 @@
+// Quickstart: the paper's Figure 1 worked example through the public API.
+//
+// A query set of US place names is searched against two candidate sets.
+// Vanilla overlap ties them (both share only "LA"), greedy matching picks
+// the wrong winner, and exact semantic overlap ranks C2 first — the point
+// of the paper's motivating example.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	koios "repro"
+)
+
+// figure1 is the element similarity of the paper's Figure 1: semantic
+// relations (synonyms, sibling entities) that no character-level measure
+// finds. In a real deployment this would be cosine over embeddings — see
+// examples/joinable — but a fixed table keeps the quickstart dependency-free
+// and exactly reproduces the published numbers.
+type figure1 struct{ m map[[2]string]float64 }
+
+func newFigure1() figure1 {
+	f := figure1{m: map[[2]string]float64{}}
+	set := func(a, b string, s float64) { f.m[[2]string{a, b}] = s; f.m[[2]string{b, a}] = s }
+	set("Blaine", "Blain", 0.99)         // typo
+	set("BigApple", "NewYorkCity", 0.90) // synonym
+	set("Columbia", "Southern", 0.85)
+	set("Columbia", "SC", 0.80)         // Columbia is a city in SC
+	set("Charleston", "Southern", 0.80) // Charleston is in the South
+	set("Seattle", "WestCoast", 0.70)
+	set("Columbia", "Lexington", 0.70)
+	set("Charleston", "MtPleasant", 0.70)
+	return f
+}
+
+func (f figure1) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return f.m[[2]string{a, b}]
+}
+func (f figure1) Name() string { return "figure1" }
+
+func main() {
+	query := []string{"LA", "Seattle", "Columbia", "Blaine", "BigApple", "Charleston"}
+	collection := []koios.Set{
+		{Name: "C1", Elements: []string{"LA", "Blain", "Appleton", "MtPleasant", "Lexington", "WestCoast"}},
+		{Name: "C2", Elements: []string{"LA", "Sacramento", "Southern", "Blain", "SC", "Minnesota", "NewYorkCity"}},
+	}
+	fn := newFigure1()
+
+	fmt.Println("Query:", query)
+	fmt.Println()
+	fmt.Println("Pairwise measures (α = 0.7):")
+	for _, c := range collection {
+		fmt.Printf("  %s: vanilla = %d   greedy = %.2f   semantic = %.2f\n",
+			c.Name,
+			koios.VanillaOverlap(query, c.Elements),
+			koios.GreedyOverlap(query, c.Elements, fn, 0.7),
+			koios.SemanticOverlap(query, c.Elements, fn, 0.7),
+		)
+	}
+
+	eng := koios.New(collection, fn, koios.Config{K: 2, Alpha: 0.7, ExactScores: true})
+	results, stats := eng.Search(query)
+
+	fmt.Println()
+	fmt.Println("Top-k semantic overlap search:")
+	for rank, r := range results {
+		fmt.Printf("  #%d  %-3s score=%.2f verified=%v\n", rank+1, r.SetName, r.Score, r.Verified)
+	}
+	fmt.Printf("\n%d candidates, %d pruned in refinement, %d exact matchings\n",
+		stats.Candidates, stats.IUBPruned, stats.EMFull+stats.FinalizeEM)
+	fmt.Println("\nGreedy would have ranked C1 first (4.09 > 3.74) — exact matching flips it.")
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/pqueue"
+	"repro/internal/sets"
+)
+
+// Engine is a Koios search engine over a fixed repository and similarity
+// index. Index construction happens once in NewEngine (the paper likewise
+// excludes index construction from query response time, §VIII-A3); Search
+// may then be called for any number of queries and is safe for concurrent
+// use by multiple goroutines.
+type Engine struct {
+	repo  *sets.Repository
+	src   index.NeighborSource
+	opts  Options
+	parts [][]int
+	invs  []*index.Inverted
+}
+
+// NewEngine builds the partition layout and one inverted index per
+// partition.
+func NewEngine(repo *sets.Repository, src index.NeighborSource, opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{repo: repo, src: src, opts: opts}
+	e.parts = repo.Partition(opts.Partitions, opts.PartitionSeed)
+	e.invs = make([]*index.Inverted, len(e.parts))
+	for i, p := range e.parts {
+		e.invs[i] = index.NewInvertedSubset(repo, p)
+	}
+	return e
+}
+
+// Options returns the engine's effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// streamTuple is one materialized token-stream tuple. first marks the
+// global first arrival of the token, i.e. the tuple carrying the token's
+// maximum similarity to any query element.
+type streamTuple struct {
+	qIdx  int32
+	token string
+	sim   float64
+	first bool
+}
+
+// qEdge is a cached bipartite edge endpoint: query element index and
+// α-thresholded similarity. The edge cache reuses every similarity computed
+// during refinement for the verification matrices (§VIII-A3: "we cache the
+// similarity of returned vectors ... for reuse during the initialization of
+// the similarity matrix used in graph matching").
+type qEdge struct {
+	qIdx int32
+	sim  float64
+}
+
+// Search runs the top-k semantic overlap search for query and returns the
+// result sets in descending score order together with filter statistics.
+func (e *Engine) Search(query []string) ([]Result, Stats) {
+	var stats Stats
+	query = dedupStrings(query)
+	if len(query) == 0 {
+		return nil, stats
+	}
+
+	refineStart := time.Now()
+	tuples, cache, streamMem := e.materializeStream(query)
+	stats.StreamTuples = len(tuples)
+	stats.MemStreamBytes = streamMem
+
+	theta := &atomicMax{}
+	partStats := make([]Stats, len(e.parts))
+	partSurv := make([][]survivor, len(e.parts))
+
+	var wg sync.WaitGroup
+	for i := range e.parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			partSurv[i] = e.refinePartition(query, tuples, e.invs[i], theta, &partStats[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range partStats {
+		stats.add(&partStats[i])
+	}
+	stats.RefineTime = time.Since(refineStart)
+
+	// Post-processing runs once over the union of the partitions'
+	// survivors: the partitions already share the global θlb (§VI), so a
+	// single Alg. 2 pass over the merged candidate pool is equivalent to
+	// per-partition passes plus a merge — and avoids exact-matching up to
+	// k·partitions partition-local winners that the global top-k never
+	// needs (exactly the expensive near-duplicate sets).
+	postStart := time.Now()
+	var survivors []survivor
+	for i := range partSurv {
+		survivors = append(survivors, partSurv[i]...)
+	}
+	llb := pqueue.NewTopK(e.opts.K)
+	for _, sv := range survivors {
+		llb.Update(sv.setID, sv.lb)
+	}
+	theta.Update(llb.Bottom())
+	results := e.postproc(query, cache, survivors, llb, theta, &stats)
+
+	if e.opts.ExactScores {
+		for i, r := range results {
+			if r.Verified {
+				continue
+			}
+			// A result set is a proven top-k member, so its score is at
+			// least θlb ≤ θ*k and the bounded verification can never
+			// terminate early (the label sum never drops below the score).
+			res := e.verify(query, cache, e.repo.Set(r.SetID), theta)
+			stats.HungarianIterations += res.Iterations
+			stats.FinalizeEM++
+			results[i].Score = res.Score
+			results[i].Verified = true
+		}
+		sort.Slice(results, func(i, j int) bool {
+			if results[i].Score != results[j].Score {
+				return results[i].Score > results[j].Score
+			}
+			return results[i].SetID < results[j].SetID
+		})
+	}
+	stats.PostprocTime = time.Since(postStart)
+	return results, stats
+}
+
+// materializeStream drains the token stream once, recording first-arrival
+// flags and building the similarity edge cache shared by all partitions.
+func (e *Engine) materializeStream(query []string) ([]streamTuple, map[string][]qEdge, int64) {
+	st := index.NewStream(query, e.src, e.opts.Alpha)
+	var tuples []streamTuple
+	seen := make(map[string]bool)
+	cache := make(map[string][]qEdge)
+	var mem int64
+	for {
+		tup, ok := st.Next()
+		if !ok {
+			break
+		}
+		first := !seen[tup.Token]
+		seen[tup.Token] = true
+		tuples = append(tuples, streamTuple{qIdx: int32(tup.QIdx), token: tup.Token, sim: tup.Sim, first: first})
+		cache[tup.Token] = append(cache[tup.Token], qEdge{qIdx: int32(tup.QIdx), sim: tup.Sim})
+		mem += int64(len(tup.Token)) + 16 + 32 + 16 // tuple + cache entry estimate
+	}
+	return tuples, cache, mem
+}
+
+func dedupStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

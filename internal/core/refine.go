@@ -1,0 +1,145 @@
+package core
+
+import (
+	"repro/internal/index"
+	"repro/internal/pqueue"
+)
+
+// pruneEps guards every θlb pruning comparison against float64 noise: a set
+// is pruned only when its upper bound is below θlb−pruneEps. Bounds and θlb
+// can be sums of the same similarities accumulated in different orders, so
+// exact ties may differ by a few ulps; without the slack a tie set could be
+// wrongly eliminated (see matching.BoundEps for the same guard inside the
+// Hungarian solver).
+const pruneEps = 1e-9
+
+// candState is the per-candidate refinement state: the incremental greedy
+// lower bound (iLB, Lemma 5) and the corrected incremental upper bound
+// (DESIGN.md §2).
+type candState struct {
+	// ubSum is the sum of the first-seen (= maximum) similarities of the
+	// candidate's distinct streamed tokens, capped at min(|Q|,|C|) terms.
+	ubSum float64
+	// lbScore is the partial greedy matching score plus the vanilla overlap
+	// (identity tuples stream first, so exact matches enter the greedy
+	// matching before anything else).
+	lbScore float64
+	// mRem is the number of matching slots not yet covered by ubSum terms;
+	// iUB(C) = ubSum + mRem·s.
+	mRem int32
+	// pruned marks the candidate as eliminated; later tuples skip it.
+	pruned bool
+	// qMask records greedily matched query elements (one bit per element).
+	qMask []uint64
+	// cMatched records greedily matched candidate tokens.
+	cMatched map[string]struct{}
+}
+
+// survivor is a candidate that reached post-processing with its final
+// refinement bounds.
+type survivor struct {
+	setID  int
+	lb, ub float64
+}
+
+// refinePartition runs Algorithm 1 over one partition's inverted index.
+// All partitions consume the same materialized tuple slice and share the
+// global θlb through theta.
+func (e *Engine) refinePartition(query []string, tuples []streamTuple, inv *index.Inverted, theta *atomicMax, stats *Stats) []survivor {
+	opts := e.opts
+	state := make(map[int32]*candState)
+	buckets := pqueue.NewBuckets()
+	llb := pqueue.NewTopK(opts.K)
+	qWords := (len(query) + 63) / 64
+	lastPruneTheta := 0.0
+
+	markPruned := func(key int, _ float64, _ int) {
+		state[int32(key)].pruned = true
+		stats.IUBPruned++
+	}
+
+	for ti, tup := range tuples {
+		s := tup.sim
+		for _, sid := range inv.Sets(tup.token) {
+			st := state[sid]
+			if st == nil {
+				stats.Candidates++
+				c := e.repo.Set(int(sid))
+				slots := min(len(query), len(c.Elements))
+				st = &candState{
+					mRem:     int32(slots),
+					qMask:    make([]uint64, qWords),
+					cMatched: make(map[string]struct{}, 4),
+				}
+				state[sid] = st
+				// UB-Filter at first sight (Lemma 2): the first tuple for a
+				// set carries its maximum element similarity, so
+				// UB(C) = min(|Q|,|C|)·s.
+				if !opts.DisableIUB {
+					if t := theta.Load(); t > 0 && float64(slots)*s < t-pruneEps {
+						st.pruned = true
+						stats.IUBPruned++
+						continue
+					}
+					buckets.Insert(int(sid), slots, 0)
+				}
+			}
+			if st.pruned {
+				continue
+			}
+			// Incremental upper bound: count the token's maximum similarity
+			// once, while slots remain (the stream is descending, so the
+			// first min(|Q|,|C|) distinct tokens carry the largest sums).
+			if tup.first && st.mRem > 0 {
+				st.ubSum += s
+				st.mRem--
+				if !opts.DisableIUB {
+					buckets.Move(int(sid), int(st.mRem), st.ubSum)
+				}
+			}
+			// Incremental greedy lower bound (iLB): take the edge iff both
+			// endpoints are unmatched (Lemma 5).
+			w, bit := tup.qIdx/64, uint64(1)<<(tup.qIdx%64)
+			if st.qMask[w]&bit == 0 {
+				if _, used := st.cMatched[tup.token]; !used {
+					st.qMask[w] |= bit
+					st.cMatched[tup.token] = struct{}{}
+					st.lbScore += s
+					if llb.Update(int(sid), st.lbScore) {
+						theta.Update(llb.Bottom())
+					}
+				}
+			}
+		}
+		if !opts.DisableIUB {
+			// Bucket prune: eager when θlb improved, periodic otherwise
+			// (pruning is an optimization — correctness never depends on
+			// when it runs, and the final drain re-checks every survivor).
+			t := theta.Load()
+			if t > lastPruneTheta || ti%opts.PruneEvery == opts.PruneEvery-1 {
+				lastPruneTheta = t
+				buckets.Prune(s, t-pruneEps, markPruned)
+			}
+		}
+	}
+
+	// Drain: once the stream is exhausted every unseen element contributes
+	// nothing (its similarities are all below α), so the final upper bound
+	// tightens to ubSum.
+	finalTheta := theta.Load()
+	var out []survivor
+	var candMem int64
+	for sid, st := range state {
+		candMem += 64 + int64(qWords)*8 + int64(len(st.cMatched))*48
+		if st.pruned {
+			continue
+		}
+		if !opts.DisableIUB && finalTheta > 0 && st.ubSum < finalTheta-pruneEps {
+			stats.IUBPruned++
+			continue
+		}
+		out = append(out, survivor{setID: int(sid), lb: st.lbScore, ub: st.ubSum})
+	}
+	stats.MemCandBytes += candMem
+	return out
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/matching"
+	"repro/internal/sets"
+)
+
+// verify computes the exact semantic overlap of the query and candidate c by
+// maximum-weight bipartite matching over the cached α-edges. When theta is
+// non-nil and early termination is enabled, the Hungarian solver aborts as
+// soon as its label sum — an upper bound on the final score — drops below
+// the current global θlb (Lemma 8), certifying that c cannot reach the
+// top-k.
+//
+// The matrix is restricted to query elements and candidate tokens that have
+// at least one α-edge; all other elements can only contribute zero-weight
+// pairs, which the optional matching never needs. This keeps the O(n³)
+// matching at the size of the connected subgraph rather than the full sets.
+func (e *Engine) verify(query []string, cache map[string][]qEdge, c sets.Set, theta *atomicMax) matching.Result {
+	rowOf := make(map[int32]int)
+	var rows []int32
+	type colEdges struct {
+		token string
+		edges []qEdge
+	}
+	var cols []colEdges
+	for _, tok := range c.Elements {
+		edges := cache[tok]
+		if len(edges) == 0 {
+			continue
+		}
+		cols = append(cols, colEdges{token: tok, edges: edges})
+		for _, ed := range edges {
+			if _, ok := rowOf[ed.qIdx]; !ok {
+				rowOf[ed.qIdx] = 0 // position assigned after sorting
+				rows = append(rows, ed.qIdx)
+			}
+		}
+	}
+	if len(cols) == 0 {
+		return matching.Result{}
+	}
+	// Deterministic row order regardless of element order.
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	for i, q := range rows {
+		rowOf[q] = i
+	}
+	if e.opts.Verifier == VerifierSSP {
+		adj := make([][]matching.SparseEdge, len(rows))
+		for j, ce := range cols {
+			for _, ed := range ce.edges {
+				r := rowOf[ed.qIdx]
+				adj[r] = append(adj[r], matching.SparseEdge{Col: j, W: ed.sim})
+			}
+		}
+		return matching.SparseMatch(adj, len(cols))
+	}
+	w := make([][]float64, len(rows))
+	for i := range w {
+		w[i] = make([]float64, len(cols))
+	}
+	for j, ce := range cols {
+		for _, ed := range ce.edges {
+			w[rowOf[ed.qIdx]][j] = ed.sim
+		}
+	}
+	var bound func() float64
+	if theta != nil && !e.opts.DisableEarlyTerm {
+		bound = theta.Load
+	}
+	return matching.HungarianBounded(w, bound)
+}

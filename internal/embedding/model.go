@@ -1,0 +1,276 @@
+// Package embedding provides the synthetic word-embedding substrate that
+// replaces the pre-trained FastText vectors used in the paper's experiments
+// (§VIII-A3). The model plants a semantic structure that the Koios search
+// can exploit and the quality experiment (Fig. 8) can measure:
+//
+//   - the vocabulary is organized in clusters of semantically related
+//     tokens (synonyms, typo variants, related entities);
+//   - tokens in the same cluster have high cosine similarity (centroid plus
+//     bounded noise, so most intra-cluster pairs clear the paper's default
+//     α = 0.8), while tokens from different clusters have near-random
+//     cosine — far below any useful α;
+//   - a configurable fraction of tokens is out-of-vocabulary, exercising the
+//     paper's OOV rule (identical OOV tokens still count with similarity 1).
+//
+// All randomness is seeded, so a given Config always produces the same
+// model, vocabulary and vectors.
+package embedding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Config parameterizes a synthetic embedding model.
+type Config struct {
+	// Dim is the vector dimensionality. Default 32.
+	Dim int
+	// Clusters is the number of semantic clusters. Default 100.
+	Clusters int
+	// MinClusterSize and MaxClusterSize bound the tokens per cluster
+	// (uniformly sampled). Defaults 2 and 6.
+	MinClusterSize, MaxClusterSize int
+	// TypoFraction is the probability that a non-base cluster member is a
+	// typo variant of the base word (sharing most 3-grams) rather than an
+	// unrelated synonym word. Default 0.3.
+	TypoFraction float64
+	// OOVRate is the probability that a generated token receives no vector
+	// (out of vocabulary). Default 0.
+	OOVRate float64
+	// Noise scales the per-coordinate Gaussian noise added to the cluster
+	// centroid; larger noise lowers intra-cluster cosine. Default 0.07,
+	// which keeps most intra-cluster pairs in the 0.78–0.95 cosine range so
+	// an α sweep (Fig. 7b) changes the candidate graph meaningfully.
+	Noise float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim == 0 {
+		c.Dim = 32
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 100
+	}
+	if c.MinClusterSize == 0 {
+		c.MinClusterSize = 2
+	}
+	if c.MaxClusterSize == 0 {
+		c.MaxClusterSize = 6
+	}
+	if c.TypoFraction == 0 {
+		c.TypoFraction = 0.3
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.07
+	}
+	return c
+}
+
+// Model is a deterministic synthetic embedding model.
+type Model struct {
+	cfg      Config
+	vectors  map[string][]float32
+	clusters map[string]int
+	tokens   []string // all generated tokens, including OOV ones
+	oov      map[string]bool
+}
+
+// NewModel builds a model from cfg. Token strings are unique across the
+// whole vocabulary.
+func NewModel(cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		cfg:      cfg,
+		vectors:  make(map[string][]float32),
+		clusters: make(map[string]int),
+		oov:      make(map[string]bool),
+	}
+	words := newWordGen(rng)
+	for c := 0; c < cfg.Clusters; c++ {
+		center := randomUnitVector(rng, cfg.Dim)
+		size := cfg.MinClusterSize
+		if cfg.MaxClusterSize > cfg.MinClusterSize {
+			size += rng.Intn(cfg.MaxClusterSize - cfg.MinClusterSize + 1)
+		}
+		base := words.next()
+		m.addToken(rng, base, c, center)
+		for i := 1; i < size; i++ {
+			var tok string
+			if rng.Float64() < cfg.TypoFraction {
+				tok = words.mutate(base)
+			} else {
+				tok = words.next()
+			}
+			m.addToken(rng, tok, c, center)
+		}
+	}
+	return m
+}
+
+func (m *Model) addToken(rng *rand.Rand, tok string, cluster int, center []float32) {
+	m.tokens = append(m.tokens, tok)
+	m.clusters[tok] = cluster
+	if rng.Float64() < m.cfg.OOVRate {
+		m.oov[tok] = true
+		return
+	}
+	v := make([]float32, m.cfg.Dim)
+	for i := range v {
+		v[i] = center[i] + float32(rng.NormFloat64()*m.cfg.Noise)
+	}
+	normalize(v)
+	m.vectors[tok] = v
+}
+
+// Dim returns the vector dimensionality.
+func (m *Model) Dim() int { return m.cfg.Dim }
+
+// Tokens returns every generated token (including OOV ones) in generation
+// order. Callers must not mutate the returned slice.
+func (m *Model) Tokens() []string { return m.tokens }
+
+// Vector returns the embedding of tok, or ok=false when tok is out of
+// vocabulary.
+func (m *Model) Vector(tok string) ([]float32, bool) {
+	v, ok := m.vectors[tok]
+	return v, ok
+}
+
+// Covered reports whether tok has a vector.
+func (m *Model) Covered(tok string) bool {
+	_, ok := m.vectors[tok]
+	return ok
+}
+
+// Coverage returns the fraction of tokens with vectors.
+func (m *Model) Coverage() float64 {
+	if len(m.tokens) == 0 {
+		return 0
+	}
+	return float64(len(m.vectors)) / float64(len(m.tokens))
+}
+
+// Cluster returns the semantic cluster id of tok, or -1 for unknown tokens.
+func (m *Model) Cluster(tok string) int {
+	c, ok := m.clusters[tok]
+	if !ok {
+		return -1
+	}
+	return c
+}
+
+// Sim implements sim.Func: cosine similarity of the token vectors, with the
+// OOV rule of §V — identical tokens have similarity 1 even when out of
+// vocabulary, and a pair involving an uncovered token is otherwise 0.
+func (m *Model) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	va, oka := m.vectors[a]
+	vb, okb := m.vectors[b]
+	if !oka || !okb {
+		return 0
+	}
+	return sim.Cosine(va, vb)
+}
+
+// Name implements sim.Func.
+func (m *Model) Name() string { return "cosine-embedding" }
+
+var _ sim.Func = (*Model)(nil)
+
+func randomUnitVector(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	normalize(v)
+	return v
+}
+
+func normalize(v []float32) {
+	var n float64
+	for _, x := range v {
+		n += float64(x) * float64(x)
+	}
+	n = math.Sqrt(n)
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	for i := range v {
+		v[i] = float32(float64(v[i]) / n)
+	}
+}
+
+// wordGen produces unique pronounceable synthetic words and typo variants.
+type wordGen struct {
+	rng  *rand.Rand
+	seen map[string]bool
+}
+
+var (
+	consonants = []byte("bcdfghklmnprstvz")
+	vowels     = []byte("aeiou")
+)
+
+func newWordGen(rng *rand.Rand) *wordGen {
+	return &wordGen{rng: rng, seen: make(map[string]bool)}
+}
+
+// next returns a fresh word of 2–4 syllables.
+func (g *wordGen) next() string {
+	for attempt := 0; ; attempt++ {
+		syllables := 2 + g.rng.Intn(3)
+		b := make([]byte, 0, syllables*2)
+		for i := 0; i < syllables; i++ {
+			b = append(b, consonants[g.rng.Intn(len(consonants))], vowels[g.rng.Intn(len(vowels))])
+		}
+		w := string(b)
+		if attempt > 20 {
+			w = fmt.Sprintf("%s%d", w, g.rng.Intn(1_000_000))
+		}
+		if !g.seen[w] {
+			g.seen[w] = true
+			return w
+		}
+	}
+}
+
+// mutate returns a unique typo variant of base: substitute, insert, or drop
+// one character.
+func (g *wordGen) mutate(base string) string {
+	for attempt := 0; ; attempt++ {
+		b := []byte(base)
+		switch g.rng.Intn(3) {
+		case 0: // substitution
+			i := g.rng.Intn(len(b))
+			b[i] = consonants[g.rng.Intn(len(consonants))]
+		case 1: // insertion
+			i := g.rng.Intn(len(b) + 1)
+			c := vowels[g.rng.Intn(len(vowels))]
+			b = append(b[:i], append([]byte{c}, b[i:]...)...)
+		default: // deletion
+			if len(b) > 3 {
+				i := g.rng.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			} else {
+				b = append(b, vowels[g.rng.Intn(len(vowels))])
+			}
+		}
+		w := string(b)
+		if attempt > 20 {
+			w = fmt.Sprintf("%s%d", w, g.rng.Intn(1_000_000))
+		}
+		if !g.seen[w] {
+			g.seen[w] = true
+			return w
+		}
+	}
+}

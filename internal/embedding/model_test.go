@@ -1,0 +1,190 @@
+package embedding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestModelDeterministic(t *testing.T) {
+	cfg := Config{Clusters: 20, Seed: 7}
+	m1, m2 := NewModel(cfg), NewModel(cfg)
+	t1, t2 := m1.Tokens(), m2.Tokens()
+	if len(t1) != len(t2) {
+		t.Fatalf("token counts differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("token %d differs: %q vs %q", i, t1[i], t2[i])
+		}
+		v1, ok1 := m1.Vector(t1[i])
+		v2, ok2 := m2.Vector(t2[i])
+		if ok1 != ok2 {
+			t.Fatalf("coverage differs for %q", t1[i])
+		}
+		for j := range v1 {
+			if v1[j] != v2[j] {
+				t.Fatalf("vector for %q differs at dim %d", t1[i], j)
+			}
+		}
+	}
+}
+
+func TestTokensUnique(t *testing.T) {
+	m := NewModel(Config{Clusters: 500, Seed: 3})
+	seen := map[string]bool{}
+	for _, tok := range m.Tokens() {
+		if seen[tok] {
+			t.Fatalf("duplicate token %q", tok)
+		}
+		seen[tok] = true
+	}
+}
+
+func TestVectorsAreUnit(t *testing.T) {
+	m := NewModel(Config{Clusters: 50, Seed: 11})
+	for _, tok := range m.Tokens() {
+		v, ok := m.Vector(tok)
+		if !ok {
+			continue
+		}
+		var n float64
+		for _, x := range v {
+			n += float64(x) * float64(x)
+		}
+		if math.Abs(math.Sqrt(n)-1) > 1e-5 {
+			t.Fatalf("vector for %q has norm %v", tok, math.Sqrt(n))
+		}
+	}
+}
+
+// TestClusterStructure is the load-bearing property of the substitution:
+// intra-cluster cosine must be high (mostly above the paper's α=0.8) and
+// inter-cluster cosine must be far below any useful α.
+func TestClusterStructure(t *testing.T) {
+	m := NewModel(Config{Clusters: 80, Seed: 13})
+	toks := m.Tokens()
+	byCluster := map[int][]string{}
+	for _, tok := range toks {
+		if m.Covered(tok) {
+			c := m.Cluster(tok)
+			byCluster[c] = append(byCluster[c], tok)
+		}
+	}
+	intraHigh, intraTotal := 0, 0
+	for _, members := range byCluster {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				s := m.Sim(members[i], members[j])
+				intraTotal++
+				if s >= 0.8 {
+					intraHigh++
+				}
+				if s < 0.5 {
+					t.Fatalf("intra-cluster pair (%q,%q) cosine %v < 0.5", members[i], members[j], s)
+				}
+			}
+		}
+	}
+	if intraTotal == 0 {
+		t.Fatal("no intra-cluster pairs")
+	}
+	if frac := float64(intraHigh) / float64(intraTotal); frac < 0.5 {
+		t.Fatalf("only %.0f%% of intra-cluster pairs reach cosine 0.8", frac*100)
+	}
+	// Sample inter-cluster pairs.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		a, b := toks[rng.Intn(len(toks))], toks[rng.Intn(len(toks))]
+		if !m.Covered(a) || !m.Covered(b) || m.Cluster(a) == m.Cluster(b) {
+			continue
+		}
+		if s := m.Sim(a, b); s >= 0.7 {
+			t.Fatalf("inter-cluster pair (%q,%q) cosine %v ≥ 0.7", a, b, s)
+		}
+	}
+}
+
+func TestOOVRule(t *testing.T) {
+	m := NewModel(Config{Clusters: 100, OOVRate: 0.3, Seed: 17})
+	var oovTok, covTok string
+	for _, tok := range m.Tokens() {
+		if !m.Covered(tok) && oovTok == "" {
+			oovTok = tok
+		}
+		if m.Covered(tok) && covTok == "" {
+			covTok = tok
+		}
+	}
+	if oovTok == "" {
+		t.Fatal("no OOV token generated at rate 0.3")
+	}
+	if got := m.Sim(oovTok, oovTok); got != 1 {
+		t.Fatalf("identical OOV tokens must have sim 1, got %v", got)
+	}
+	if got := m.Sim(oovTok, covTok); got != 0 {
+		t.Fatalf("OOV vs covered must be 0, got %v", got)
+	}
+	cov := m.Coverage()
+	if cov < 0.5 || cov > 0.9 {
+		t.Fatalf("coverage %v implausible for OOVRate 0.3", cov)
+	}
+}
+
+func TestSimIsValidSimFunc(t *testing.T) {
+	m := NewModel(Config{Clusters: 30, Seed: 19})
+	toks := m.Tokens()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 1000; trial++ {
+		a, b := toks[rng.Intn(len(toks))], toks[rng.Intn(len(toks))]
+		sab, sba := m.Sim(a, b), m.Sim(b, a)
+		if sab != sba {
+			t.Fatalf("asymmetric: Sim(%q,%q)=%v vs %v", a, b, sab, sba)
+		}
+		if sab < 0 || sab > 1 {
+			t.Fatalf("out of range: %v", sab)
+		}
+	}
+	var _ sim.Func = m
+}
+
+func TestTypoVariantsShareQGrams(t *testing.T) {
+	m := NewModel(Config{Clusters: 300, TypoFraction: 1.0, MinClusterSize: 2, MaxClusterSize: 2, Seed: 23})
+	jac := sim.JaccardQGrams{Q: 3}
+	byCluster := map[int][]string{}
+	for _, tok := range m.Tokens() {
+		byCluster[m.Cluster(tok)] = append(byCluster[m.Cluster(tok)], tok)
+	}
+	similarEnough := 0
+	total := 0
+	for _, members := range byCluster {
+		if len(members) != 2 {
+			continue
+		}
+		total++
+		if jac.Sim(members[0], members[1]) >= 0.3 {
+			similarEnough++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no 2-member clusters")
+	}
+	if frac := float64(similarEnough) / float64(total); frac < 0.7 {
+		t.Fatalf("only %.0f%% of typo pairs share ≥0.3 of 3-grams", frac*100)
+	}
+}
+
+func TestModelDefaultsApplied(t *testing.T) {
+	m := NewModel(Config{Seed: 29})
+	if m.Dim() != 32 {
+		t.Fatalf("default Dim = %d, want 32", m.Dim())
+	}
+	if len(m.Tokens()) < 100 {
+		t.Fatalf("default model too small: %d tokens", len(m.Tokens()))
+	}
+	if m.Coverage() != 1 {
+		t.Fatalf("default coverage = %v, want 1", m.Coverage())
+	}
+}

@@ -1,0 +1,87 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countingSource wraps a NeighborSource and counts retrievals.
+type countingSource struct {
+	inner NeighborSource
+	calls atomic.Int64
+}
+
+func (c *countingSource) Neighbors(q string, alpha float64) []Neighbor {
+	c.calls.Add(1)
+	return c.inner.Neighbors(q, alpha)
+}
+
+func TestCachedMemoizes(t *testing.T) {
+	m := testModel()
+	vocab := m.Tokens()
+	cs := &countingSource{inner: NewExact(vocab, m.Vector)}
+	c := NewCached(cs)
+
+	first := c.Neighbors(vocab[0], 0.8)
+	second := c.Neighbors(vocab[0], 0.8)
+	if cs.calls.Load() != 1 {
+		t.Fatalf("inner source called %d times, want 1", cs.calls.Load())
+	}
+	if len(first) != len(second) {
+		t.Fatal("cached result differs")
+	}
+	// A different alpha is a different cache entry.
+	c.Neighbors(vocab[0], 0.7)
+	if cs.calls.Load() != 2 {
+		t.Fatalf("alpha not part of cache key: %d calls", cs.calls.Load())
+	}
+	if c.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", c.Size())
+	}
+}
+
+func TestCachedPrewarm(t *testing.T) {
+	m := testModel()
+	vocab := m.Tokens()
+	cs := &countingSource{inner: NewExact(vocab, m.Vector)}
+	c := NewCached(cs)
+	queries := [][]string{vocab[:3], vocab[1:5]} // overlapping elements
+	fresh := c.Prewarm(queries, 0.8)
+	if fresh != 5 {
+		t.Fatalf("Prewarm retrieved %d, want 5 distinct elements", fresh)
+	}
+	calls := cs.calls.Load()
+	// Every subsequent retrieval is a cache hit.
+	for _, q := range queries {
+		for _, el := range q {
+			c.Neighbors(el, 0.8)
+		}
+	}
+	if cs.calls.Load() != calls {
+		t.Fatal("prewarmed entries re-retrieved")
+	}
+	if again := c.Prewarm(queries, 0.8); again != 0 {
+		t.Fatalf("second Prewarm retrieved %d, want 0", again)
+	}
+}
+
+func TestCachedConcurrent(t *testing.T) {
+	m := testModel()
+	vocab := m.Tokens()
+	c := NewCached(NewExact(vocab, m.Vector))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.Neighbors(vocab[(g+i)%len(vocab)], 0.8)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Size() == 0 {
+		t.Fatal("nothing cached")
+	}
+}

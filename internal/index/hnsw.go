@@ -1,0 +1,251 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/pqueue"
+	"repro/internal/sim"
+)
+
+// HNSW is a hierarchical navigable small-world graph over the vocabulary
+// vectors (Malkov & Yashunin), the graph-based counterpart to the IVF index:
+// a third drop-in NeighborSource for the token stream. Like IVF it is
+// approximate — retrieval recall depends on EfSearch — so a Koios search on
+// top of it trades exactness for sub-linear retrieval.
+type HNSW struct {
+	tokens  []string
+	vecs    [][]float32
+	byToken map[string]int
+
+	m        int // max links per node per layer (layer 0 uses 2m)
+	efBuild  int
+	efSearch int
+	levels   []int       // per node
+	links    [][][]int32 // node -> layer -> neighbor ids
+	entry    int
+	maxLevel int
+	rng      *rand.Rand
+}
+
+// HNSWConfig tunes index construction and search.
+type HNSWConfig struct {
+	// M is the per-layer out-degree budget. Default 12.
+	M int
+	// EfConstruction is the candidate-list width during insertion. Default 64.
+	EfConstruction int
+	// EfSearch is the candidate-list width during retrieval. Default 96.
+	EfSearch int
+	Seed     int64
+}
+
+func (c HNSWConfig) withDefaults() HNSWConfig {
+	if c.M <= 0 {
+		c.M = 12
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 64
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 96
+	}
+	return c
+}
+
+// NewHNSW indexes the covered vocabulary tokens.
+func NewHNSW(vocab []string, vec func(string) ([]float32, bool), cfg HNSWConfig) *HNSW {
+	cfg = cfg.withDefaults()
+	h := &HNSW{
+		byToken:  make(map[string]int, len(vocab)),
+		m:        cfg.M,
+		efBuild:  cfg.EfConstruction,
+		efSearch: cfg.EfSearch,
+		entry:    -1,
+		maxLevel: -1,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, tok := range vocab {
+		v, ok := vec(tok)
+		if !ok {
+			continue
+		}
+		if _, dup := h.byToken[tok]; dup {
+			continue
+		}
+		h.byToken[tok] = len(h.tokens)
+		h.tokens = append(h.tokens, tok)
+		h.vecs = append(h.vecs, normalizeCopy(v))
+	}
+	for id := range h.vecs {
+		h.insert(id)
+	}
+	return h
+}
+
+// Len returns the number of indexed tokens.
+func (h *HNSW) Len() int { return len(h.tokens) }
+
+func (h *HNSW) sim(a, b int) float64 { return sim.Dot(h.vecs[a], h.vecs[b]) }
+
+func (h *HNSW) randomLevel() int {
+	ml := 1 / math.Log(float64(h.m))
+	return int(-math.Log(h.rng.Float64()+1e-12) * ml)
+}
+
+func (h *HNSW) insert(id int) {
+	level := h.randomLevel()
+	h.levels = append(h.levels, level)
+	nodeLinks := make([][]int32, level+1)
+	h.links = append(h.links, nodeLinks)
+
+	if h.entry == -1 {
+		h.entry = id
+		h.maxLevel = level
+		return
+	}
+
+	ep := h.entry
+	// Greedy descent through layers above the node's level.
+	for l := h.maxLevel; l > level; l-- {
+		ep = h.greedyClosest(h.vecs[id], ep, l)
+	}
+	// Insert with ef-search per layer from min(level, maxLevel) down.
+	top := level
+	if h.maxLevel < top {
+		top = h.maxLevel
+	}
+	for l := top; l >= 0; l-- {
+		cands := h.searchLayer(h.vecs[id], ep, l, h.efBuild, id)
+		maxDeg := h.m
+		if l == 0 {
+			maxDeg = 2 * h.m
+		}
+		selected := cands
+		if len(selected) > h.m {
+			selected = selected[:h.m]
+		}
+		for _, c := range selected {
+			h.links[id][l] = append(h.links[id][l], int32(c.id))
+			h.links[c.id][l] = append(h.links[c.id][l], int32(id))
+			h.shrink(c.id, l, maxDeg)
+		}
+		if len(cands) > 0 {
+			ep = cands[0].id
+		}
+	}
+	if level > h.maxLevel {
+		h.maxLevel = level
+		h.entry = id
+	}
+}
+
+// shrink prunes a node's layer links to the maxDeg most similar.
+func (h *HNSW) shrink(id, l, maxDeg int) {
+	ls := h.links[id][l]
+	if len(ls) <= maxDeg {
+		return
+	}
+	sort.Slice(ls, func(a, b int) bool {
+		return h.sim(id, int(ls[a])) > h.sim(id, int(ls[b]))
+	})
+	h.links[id][l] = append([]int32(nil), ls[:maxDeg]...)
+}
+
+type scoredNode struct {
+	id int
+	s  float64
+}
+
+// greedyClosest walks layer l greedily toward q.
+func (h *HNSW) greedyClosest(q []float32, ep, l int) int {
+	best := ep
+	bestS := sim.Dot(q, h.vecs[ep])
+	for {
+		improved := false
+		if l < len(h.links[best]) {
+			for _, nb := range h.links[best][l] {
+				if s := sim.Dot(q, h.vecs[nb]); s > bestS {
+					best, bestS = int(nb), s
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
+}
+
+// searchLayer runs the ef-bounded best-first search on layer l, returning
+// up to ef nodes sorted by descending similarity. skip excludes the node
+// being inserted.
+func (h *HNSW) searchLayer(q []float32, ep, l, ef, skip int) []scoredNode {
+	visited := map[int]bool{ep: true}
+	epS := sim.Dot(q, h.vecs[ep])
+	// candidates: max-heap by similarity; results: min-heap by similarity.
+	cands := pqueue.NewHeap[scoredNode](func(a, b scoredNode) bool { return a.s > b.s })
+	results := pqueue.NewHeap[scoredNode](func(a, b scoredNode) bool { return a.s < b.s })
+	cands.Push(scoredNode{ep, epS})
+	if ep != skip {
+		results.Push(scoredNode{ep, epS})
+	}
+	for cands.Len() > 0 {
+		c := cands.Pop()
+		if results.Len() >= ef && c.s < results.Peek().s {
+			break
+		}
+		if l >= len(h.links[c.id]) {
+			continue
+		}
+		for _, nb := range h.links[c.id][l] {
+			n := int(nb)
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			s := sim.Dot(q, h.vecs[n])
+			if results.Len() < ef || s > results.Peek().s {
+				cands.Push(scoredNode{n, s})
+				if n != skip {
+					results.Push(scoredNode{n, s})
+					if results.Len() > ef {
+						results.Pop()
+					}
+				}
+			}
+		}
+	}
+	out := make([]scoredNode, 0, results.Len())
+	for results.Len() > 0 {
+		out = append(out, results.Pop())
+	}
+	// results drained ascending; reverse to descending.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Neighbors implements NeighborSource (approximately): an EfSearch-wide
+// layer-0 sweep filtered at alpha.
+func (h *HNSW) Neighbors(q string, alpha float64) []Neighbor {
+	qi, ok := h.byToken[q]
+	if !ok || h.entry == -1 {
+		return nil
+	}
+	qv := h.vecs[qi]
+	ep := h.entry
+	for l := h.maxLevel; l > 0; l-- {
+		ep = h.greedyClosest(qv, ep, l)
+	}
+	found := h.searchLayer(qv, ep, 0, h.efSearch, qi)
+	var out []Neighbor
+	for _, f := range found {
+		if f.s >= alpha && f.id != qi {
+			out = append(out, Neighbor{Token: h.tokens[f.id], Sim: f.s})
+		}
+	}
+	sortNeighbors(out)
+	return out
+}

@@ -1,0 +1,112 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/embedding"
+)
+
+func TestHNSWRecall(t *testing.T) {
+	m := embedding.NewModel(embedding.Config{Clusters: 150, Seed: 21})
+	vocab := m.Tokens()
+	ex := NewExact(vocab, m.Vector)
+	h := NewHNSW(vocab, m.Vector, HNSWConfig{Seed: 1})
+	if h.Len() != len(vocab) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(vocab))
+	}
+	rng := rand.New(rand.NewSource(4))
+	found, want := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		q := vocab[rng.Intn(len(vocab))]
+		truth := ex.Neighbors(q, 0.8)
+		got := h.Neighbors(q, 0.8)
+		gotSet := map[string]bool{}
+		for _, n := range got {
+			gotSet[n.Token] = true
+			// Precision must be 1: every returned pair is dot-verified.
+			if n.Sim < 0.8 {
+				t.Fatalf("sub-threshold neighbor %+v", n)
+			}
+			if n.Token == q {
+				t.Fatal("self returned")
+			}
+		}
+		want += len(truth)
+		for _, tr := range truth {
+			if gotSet[tr.Token] {
+				found++
+			}
+		}
+	}
+	if want == 0 {
+		t.Fatal("no ground truth at α=0.8")
+	}
+	if recall := float64(found) / float64(want); recall < 0.85 {
+		t.Fatalf("HNSW recall %.2f < 0.85", recall)
+	}
+}
+
+func TestHNSWOOVAndEmpty(t *testing.T) {
+	m := embedding.NewModel(embedding.Config{Clusters: 10, Seed: 23})
+	h := NewHNSW(m.Tokens(), m.Vector, HNSWConfig{Seed: 2})
+	if got := h.Neighbors("unknown-token", 0.5); got != nil {
+		t.Fatalf("OOV query returned %v", got)
+	}
+	empty := NewHNSW(nil, m.Vector, HNSWConfig{})
+	if got := empty.Neighbors("x", 0.5); got != nil {
+		t.Fatalf("empty index returned %v", got)
+	}
+}
+
+func TestHNSWSingleElement(t *testing.T) {
+	m := embedding.NewModel(embedding.Config{Clusters: 1, MinClusterSize: 1, MaxClusterSize: 1, Seed: 29})
+	vocab := m.Tokens()
+	h := NewHNSW(vocab, m.Vector, HNSWConfig{})
+	if got := h.Neighbors(vocab[0], 0.5); len(got) != 0 {
+		t.Fatalf("single-token index returned %v", got)
+	}
+}
+
+func TestHNSWDeterministic(t *testing.T) {
+	m := embedding.NewModel(embedding.Config{Clusters: 40, Seed: 31})
+	vocab := m.Tokens()
+	h1 := NewHNSW(vocab, m.Vector, HNSWConfig{Seed: 9})
+	h2 := NewHNSW(vocab, m.Vector, HNSWConfig{Seed: 9})
+	for _, q := range vocab[:10] {
+		a := h1.Neighbors(q, 0.7)
+		b := h2.Neighbors(q, 0.7)
+		if len(a) != len(b) {
+			t.Fatalf("nondeterministic build: %d vs %d neighbors for %q", len(a), len(b), q)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("nondeterministic neighbors for %q", q)
+			}
+		}
+	}
+}
+
+func TestHNSWStreamIntegration(t *testing.T) {
+	// The HNSW source must plug into the token stream like any other.
+	m := embedding.NewModel(embedding.Config{Clusters: 50, Seed: 37})
+	vocab := m.Tokens()
+	h := NewHNSW(vocab, m.Vector, HNSWConfig{Seed: 3})
+	st := NewStream(vocab[:4], h, 0.8)
+	prev := 2.0
+	n := 0
+	for {
+		tup, ok := st.Next()
+		if !ok {
+			break
+		}
+		if tup.Sim > prev+1e-9 {
+			t.Fatal("stream not descending over HNSW source")
+		}
+		prev = tup.Sim
+		n++
+	}
+	if n < 4 {
+		t.Fatalf("stream produced %d tuples, want ≥ identity tuples", n)
+	}
+}

@@ -1,0 +1,77 @@
+// Package index implements the two index structures of Koios's refinement
+// phase (§IV) and the similarity indexes that feed them:
+//
+//   - Inverted: the inverted index Is mapping each vocabulary token to the
+//     sets that contain it;
+//   - Stream: the token stream Ie, a merged, globally descending stream of
+//     (query element, token, similarity) tuples realized with one
+//     NeighborSource per similarity function and a priority queue of size
+//     |Q| (§IV);
+//   - Exact: brute-force threshold retrieval over embedding vectors (the
+//     exact stand-in for the paper's Faiss index — Koios stays exact);
+//   - IVF: an inverted-file approximate vector index mirroring Faiss IVF;
+//   - FuncIndex: threshold retrieval for an arbitrary sim.Func;
+//   - MinHashLSH: banding LSH over q-gram sets for Jaccard similarity [20].
+package index
+
+import (
+	"repro/internal/sets"
+)
+
+// Inverted is the inverted index Is: token → IDs of sets containing it.
+type Inverted struct {
+	postings map[string][]int32
+	entries  int
+}
+
+// NewInverted builds the inverted index over all sets of the repository.
+func NewInverted(r *sets.Repository) *Inverted {
+	return NewInvertedSubset(r, nil)
+}
+
+// NewInvertedSubset builds the inverted index over the given set IDs only
+// (used by the partitioned driver, §VI). A nil ids slice means all sets.
+func NewInvertedSubset(r *sets.Repository, ids []int) *Inverted {
+	inv := &Inverted{postings: make(map[string][]int32)}
+	add := func(s sets.Set) {
+		for _, e := range s.Elements {
+			inv.postings[e] = append(inv.postings[e], int32(s.ID))
+			inv.entries++
+		}
+	}
+	if ids == nil {
+		for _, s := range r.Sets() {
+			add(s)
+		}
+	} else {
+		for _, id := range ids {
+			add(r.Set(id))
+		}
+	}
+	return inv
+}
+
+// Sets returns the posting list for token, or nil when the token occurs in
+// no set. Callers must not mutate the result.
+func (inv *Inverted) Sets(token string) []int32 {
+	return inv.postings[token]
+}
+
+// Tokens returns the number of distinct tokens indexed.
+func (inv *Inverted) Tokens() int { return len(inv.postings) }
+
+// Entries returns the aggregate posting-list length Σ|C| (the D⁺ of the
+// paper's space analysis, §VII-B).
+func (inv *Inverted) Entries() int { return inv.entries }
+
+// FootprintBytes estimates the in-memory size of the index for the memory
+// experiments (Fig. 5d/6d): postings plus key strings and map overhead.
+func (inv *Inverted) FootprintBytes() int64 {
+	var b int64
+	for tok, list := range inv.postings {
+		b += int64(len(tok)) + 16 // string header
+		b += int64(len(list))*4 + 24
+		b += 48 // map bucket overhead estimate
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package index
+
+import (
+	"repro/internal/pqueue"
+)
+
+// Tuple is one element of the token stream Ie: query element qᵢ (by index
+// into the query slice), a vocabulary token, and their similarity.
+type Tuple struct {
+	QIdx  int
+	Token string
+	Sim   float64
+}
+
+// Stream is the token stream Ie of §IV: for each query element it holds the
+// descending list of α-neighbors retrieved from a NeighborSource, and a
+// priority queue of size |Q| merges the per-element lists into one globally
+// descending stream of tuples.
+//
+// Per the out-of-vocabulary rule of §V, the stream first emits the identity
+// tuple (q, q, 1) for every query element — even for elements the index does
+// not cover — so identical elements always contribute to the overlap and the
+// lower bound of a candidate starts at its vanilla overlap.
+type Stream struct {
+	query     []string
+	lists     [][]Neighbor
+	pos       []int
+	heap      *pqueue.Heap[streamHead]
+	pending   int // identity tuples not yet emitted
+	emitted   int
+	retrieved int
+}
+
+type streamHead struct {
+	qIdx  int
+	token string
+	sim   float64
+}
+
+func headLess(a, b streamHead) bool {
+	if a.sim != b.sim {
+		return a.sim > b.sim
+	}
+	if a.token != b.token {
+		return a.token < b.token
+	}
+	return a.qIdx < b.qIdx
+}
+
+// NewStream probes src once per query element (threshold alpha) and prepares
+// the merged stream. The query slice must contain distinct elements.
+func NewStream(query []string, src NeighborSource, alpha float64) *Stream {
+	s := &Stream{
+		query: query,
+		lists: make([][]Neighbor, len(query)),
+		pos:   make([]int, len(query)),
+		heap:  pqueue.NewHeap[streamHead](headLess),
+	}
+	for i, q := range query {
+		s.lists[i] = src.Neighbors(q, alpha)
+		s.retrieved += len(s.lists[i])
+		if len(s.lists[i]) > 0 {
+			n := s.lists[i][0]
+			s.heap.Push(streamHead{qIdx: i, token: n.Token, sim: n.Sim})
+			s.pos[i] = 1
+		}
+	}
+	s.pending = len(query)
+	return s
+}
+
+// Next returns the next tuple in descending similarity order. The second
+// return value is false when the stream is exhausted.
+func (s *Stream) Next() (Tuple, bool) {
+	if s.pending > 0 {
+		i := len(s.query) - s.pending
+		s.pending--
+		s.emitted++
+		return Tuple{QIdx: i, Token: s.query[i], Sim: 1}, true
+	}
+	if s.heap.Len() == 0 {
+		return Tuple{}, false
+	}
+	top := s.heap.Pop()
+	// Refill from the popped element's list, keeping the queue at one head
+	// per query element (§IV: "we only require to probe I with the query
+	// element corresponding to the popped element").
+	if p := s.pos[top.qIdx]; p < len(s.lists[top.qIdx]) {
+		n := s.lists[top.qIdx][p]
+		s.heap.Push(streamHead{qIdx: top.qIdx, token: n.Token, sim: n.Sim})
+		s.pos[top.qIdx] = p + 1
+	}
+	s.emitted++
+	return Tuple{QIdx: top.qIdx, Token: top.token, Sim: top.sim}, true
+}
+
+// Emitted returns the number of tuples emitted so far.
+func (s *Stream) Emitted() int { return s.emitted }
+
+// Retrieved returns the total number of α-neighbors fetched from the
+// underlying index across all query elements (the stream's size bound
+// O(|D|·|Q|), §VII-B).
+func (s *Stream) Retrieved() int { return s.retrieved }
+
+// FootprintBytes estimates the stream's in-memory size for the memory
+// experiments.
+func (s *Stream) FootprintBytes() int64 {
+	var b int64
+	for _, list := range s.lists {
+		b += 24 // slice header
+		for _, n := range list {
+			b += int64(len(n.Token)) + 16 + 8
+		}
+	}
+	b += int64(len(s.query)) * 8 // pos + heap entries amortized
+	return b
+}

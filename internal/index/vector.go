@@ -1,0 +1,285 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Neighbor is a vocabulary token with its similarity to a query element.
+type Neighbor struct {
+	Token string
+	Sim   float64
+}
+
+// NeighborSource performs threshold-based similarity retrieval over the
+// vocabulary: all tokens with sim(q, token) ≥ alpha, descending by
+// similarity, excluding q itself (the token stream emits the identity tuple
+// separately, per the OOV rule of §V). This is the only capability Koios
+// needs from a similarity index, which is what makes the algorithm
+// independent of the choice of sim (§IV).
+type NeighborSource interface {
+	Neighbors(q string, alpha float64) []Neighbor
+}
+
+// Exact is a brute-force NeighborSource over normalized embedding vectors.
+// It plays the role of the paper's Faiss index but returns exact results, so
+// the overall search stays exact. Retrieval scans the vocabulary in batches
+// (the paper queries Faiss in batches of 100) — functionally a full scan,
+// structured the same way.
+type Exact struct {
+	tokens  []string
+	vecs    [][]float32
+	byToken map[string]int
+	batch   int
+}
+
+// NewExact indexes the vocabulary tokens that vec covers. Vectors are
+// copied and L2-normalized so retrieval can use the dot product.
+func NewExact(vocab []string, vec func(string) ([]float32, bool)) *Exact {
+	e := &Exact{byToken: make(map[string]int, len(vocab)), batch: 100}
+	for _, tok := range vocab {
+		v, ok := vec(tok)
+		if !ok {
+			continue
+		}
+		e.byToken[tok] = len(e.tokens)
+		e.tokens = append(e.tokens, tok)
+		e.vecs = append(e.vecs, normalizeCopy(v))
+	}
+	return e
+}
+
+// Len returns the number of indexed (covered) tokens.
+func (e *Exact) Len() int { return len(e.tokens) }
+
+// Neighbors implements NeighborSource.
+func (e *Exact) Neighbors(q string, alpha float64) []Neighbor {
+	qi, ok := e.byToken[q]
+	if !ok {
+		return nil // out-of-vocabulary query element: no semantic neighbors
+	}
+	qv := e.vecs[qi]
+	var out []Neighbor
+	for start := 0; start < len(e.tokens); start += e.batch {
+		end := start + e.batch
+		if end > len(e.tokens) {
+			end = len(e.tokens)
+		}
+		for i := start; i < end; i++ {
+			if i == qi {
+				continue
+			}
+			if s := sim.Dot(qv, e.vecs[i]); s >= alpha {
+				out = append(out, Neighbor{Token: e.tokens[i], Sim: s})
+			}
+		}
+	}
+	sortNeighbors(out)
+	return out
+}
+
+// FootprintBytes estimates the index's in-memory size.
+func (e *Exact) FootprintBytes() int64 {
+	var b int64
+	for i, tok := range e.tokens {
+		b += int64(len(tok)) + 16
+		b += int64(len(e.vecs[i]))*4 + 24
+		b += 56 // map entry + slice headers
+	}
+	return b
+}
+
+// IVF is an inverted-file approximate vector index in the style of Faiss
+// IVF: vectors are clustered with k-means and a query probes only the
+// NProbe nearest clusters. Recall is below 1, so a Koios search on top of
+// IVF trades exactness for speed — the ablation in the bench harness
+// quantifies that trade, mirroring the paper's remark that "Koios returns an
+// exact solution as long as the index returns exact results" (§VIII-E).
+type IVF struct {
+	centroids [][]float32
+	lists     [][]int // vector indices per centroid
+	tokens    []string
+	vecs      [][]float32
+	byToken   map[string]int
+	nprobe    int
+}
+
+// NewIVF builds an IVF index with nlist clusters (k-means, fixed 8
+// iterations) probing nprobe lists per query.
+func NewIVF(vocab []string, vec func(string) ([]float32, bool), nlist, nprobe int, seed int64) *IVF {
+	ix := &IVF{byToken: make(map[string]int, len(vocab)), nprobe: nprobe}
+	for _, tok := range vocab {
+		v, ok := vec(tok)
+		if !ok {
+			continue
+		}
+		ix.byToken[tok] = len(ix.tokens)
+		ix.tokens = append(ix.tokens, tok)
+		ix.vecs = append(ix.vecs, normalizeCopy(v))
+	}
+	if nlist <= 0 {
+		nlist = 1
+	}
+	if nlist > len(ix.vecs) {
+		nlist = len(ix.vecs)
+	}
+	if ix.nprobe <= 0 {
+		ix.nprobe = 1
+	}
+	if len(ix.vecs) == 0 {
+		return ix
+	}
+	ix.train(nlist, seed)
+	return ix
+}
+
+func (ix *IVF) train(nlist int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(ix.vecs[0])
+	// k-means++ style init: random distinct picks.
+	perm := rng.Perm(len(ix.vecs))
+	ix.centroids = make([][]float32, nlist)
+	for i := 0; i < nlist; i++ {
+		c := make([]float32, dim)
+		copy(c, ix.vecs[perm[i]])
+		ix.centroids[i] = c
+	}
+	assign := make([]int, len(ix.vecs))
+	for iter := 0; iter < 8; iter++ {
+		for i, v := range ix.vecs {
+			assign[i] = ix.nearestCentroid(v)
+		}
+		sums := make([][]float64, nlist)
+		counts := make([]int, nlist)
+		for i := range sums {
+			sums[i] = make([]float64, dim)
+		}
+		for i, v := range ix.vecs {
+			c := assign[i]
+			counts[c]++
+			for d, x := range v {
+				sums[c][d] += float64(x)
+			}
+		}
+		for c := range ix.centroids {
+			if counts[c] == 0 {
+				continue // keep old centroid for empty cluster
+			}
+			for d := range ix.centroids[c] {
+				ix.centroids[c][d] = float32(sums[c][d] / float64(counts[c]))
+			}
+			normalize32(ix.centroids[c])
+		}
+	}
+	ix.lists = make([][]int, nlist)
+	for i, v := range ix.vecs {
+		c := ix.nearestCentroid(v)
+		ix.lists[c] = append(ix.lists[c], i)
+	}
+}
+
+func (ix *IVF) nearestCentroid(v []float32) int {
+	best, bestSim := 0, math.Inf(-1)
+	for c, cent := range ix.centroids {
+		if s := sim.Dot(v, cent); s > bestSim {
+			bestSim = s
+			best = c
+		}
+	}
+	return best
+}
+
+// Neighbors implements NeighborSource (approximately).
+func (ix *IVF) Neighbors(q string, alpha float64) []Neighbor {
+	qi, ok := ix.byToken[q]
+	if !ok {
+		return nil
+	}
+	qv := ix.vecs[qi]
+	type scored struct {
+		c int
+		s float64
+	}
+	cs := make([]scored, len(ix.centroids))
+	for c, cent := range ix.centroids {
+		cs[c] = scored{c, sim.Dot(qv, cent)}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].s > cs[j].s })
+	probes := ix.nprobe
+	if probes > len(cs) {
+		probes = len(cs)
+	}
+	var out []Neighbor
+	for p := 0; p < probes; p++ {
+		for _, i := range ix.lists[cs[p].c] {
+			if i == qi {
+				continue
+			}
+			if s := sim.Dot(qv, ix.vecs[i]); s >= alpha {
+				out = append(out, Neighbor{Token: ix.tokens[i], Sim: s})
+			}
+		}
+	}
+	sortNeighbors(out)
+	return out
+}
+
+// FuncIndex is a brute-force NeighborSource for an arbitrary similarity
+// function — the fallback that keeps Koios independent of the choice of sim.
+type FuncIndex struct {
+	vocab []string
+	fn    sim.Func
+}
+
+// NewFuncIndex indexes vocab under fn.
+func NewFuncIndex(vocab []string, fn sim.Func) *FuncIndex {
+	return &FuncIndex{vocab: vocab, fn: fn}
+}
+
+// Neighbors implements NeighborSource.
+func (f *FuncIndex) Neighbors(q string, alpha float64) []Neighbor {
+	var out []Neighbor
+	for _, tok := range f.vocab {
+		if tok == q {
+			continue
+		}
+		if s := f.fn.Sim(q, tok); s >= alpha {
+			out = append(out, Neighbor{Token: tok, Sim: s})
+		}
+	}
+	sortNeighbors(out)
+	return out
+}
+
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Sim != ns[j].Sim {
+			return ns[i].Sim > ns[j].Sim
+		}
+		return ns[i].Token < ns[j].Token
+	})
+}
+
+func normalizeCopy(v []float32) []float32 {
+	out := make([]float32, len(v))
+	copy(out, v)
+	normalize32(out)
+	return out
+}
+
+func normalize32(v []float32) {
+	var n float64
+	for _, x := range v {
+		n += float64(x) * float64(x)
+	}
+	n = math.Sqrt(n)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] = float32(float64(v[i]) / n)
+	}
+}

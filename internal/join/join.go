@@ -1,0 +1,189 @@
+// Package join builds on the Koios engine to answer *workloads* of top-k
+// semantic overlap searches — the joinable-dataset-discovery task that
+// motivates the paper's introduction: for each query column in a workload,
+// find the k most joinable columns of a repository, and optionally the
+// element mapping that realizes each join (the role SEMA-JOIN plays after
+// discovery, §IX).
+//
+// The engine, its partition layout, and its similarity index are built once
+// and shared across the workload; queries run on a bounded worker pool.
+package join
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/matching"
+	"repro/internal/sets"
+)
+
+// Match is one discovered joinable set.
+type Match struct {
+	// QueryIdx indexes the workload.
+	QueryIdx int
+	// SetID and SetName identify the repository set.
+	SetID   int
+	SetName string
+	// Score is the semantic overlap.
+	Score float64
+	// Verified reports whether Score is exact.
+	Verified bool
+}
+
+// Options configure a workload run.
+type Options struct {
+	// K, Alpha, Partitions, Workers mirror core.Options.
+	K          int
+	Alpha      float64
+	Partitions int
+	Workers    int
+	// QueryParallelism bounds concurrently running workload queries.
+	// Default 4.
+	QueryParallelism int
+	// ExactScores verifies every returned match.
+	ExactScores bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueryParallelism <= 0 {
+		o.QueryParallelism = 4
+	}
+	return o
+}
+
+// Discovery runs top-k semantic overlap workloads over one repository.
+type Discovery struct {
+	repo *sets.Repository
+	src  index.NeighborSource
+	eng  *core.Engine
+	opts Options
+}
+
+// NewDiscovery prepares a discovery engine.
+func NewDiscovery(repo *sets.Repository, src index.NeighborSource, opts Options) *Discovery {
+	opts = opts.withDefaults()
+	return &Discovery{
+		repo: repo,
+		src:  src,
+		opts: opts,
+		eng: core.NewEngine(repo, src, core.Options{
+			K:           opts.K,
+			Alpha:       opts.Alpha,
+			Partitions:  opts.Partitions,
+			Workers:     opts.Workers,
+			ExactScores: opts.ExactScores,
+		}),
+	}
+}
+
+// NewDiscoveryWithEngine wraps an existing engine (avoiding a second index
+// build when the caller already searches the repository); opts must carry
+// the same Alpha the engine was built with so Mapping uses matching edges.
+func NewDiscoveryWithEngine(repo *sets.Repository, src index.NeighborSource, eng *core.Engine, opts Options) *Discovery {
+	opts = opts.withDefaults()
+	return &Discovery{repo: repo, src: src, eng: eng, opts: opts}
+}
+
+// Run searches every workload query and returns the per-query matches,
+// indexed like the workload. Queries run concurrently up to
+// QueryParallelism; the engine is safe for concurrent searches.
+func (d *Discovery) Run(workload [][]string) [][]Match {
+	out := make([][]Match, len(workload))
+	sem := make(chan struct{}, d.opts.QueryParallelism)
+	var wg sync.WaitGroup
+	for qi, q := range workload {
+		wg.Add(1)
+		go func(qi int, q []string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results, _ := d.eng.Search(q)
+			matches := make([]Match, len(results))
+			for i, r := range results {
+				matches[i] = Match{
+					QueryIdx: qi,
+					SetID:    r.SetID,
+					SetName:  d.repo.Set(r.SetID).Name,
+					Score:    r.Score,
+					Verified: r.Verified,
+				}
+			}
+			out[qi] = matches
+		}(qi, q)
+	}
+	wg.Wait()
+	return out
+}
+
+// Pair is one element correspondence of a join mapping.
+type Pair struct {
+	QueryElement string
+	SetElement   string
+	Sim          float64
+}
+
+// Mapping computes the optimal one-to-one element mapping between a query
+// and a repository set — the value-level join SEMA-JOIN produces after
+// discovery, here derived from the same maximum matching that defines the
+// semantic overlap. Pairs are sorted by descending similarity.
+func (d *Discovery) Mapping(query []string, setID int) ([]Pair, error) {
+	if setID < 0 || setID >= d.repo.Len() {
+		return nil, fmt.Errorf("join: set %d out of range [0,%d)", setID, d.repo.Len())
+	}
+	query = dedup(query)
+	target := d.repo.Set(setID).Elements
+
+	// Edges from the shared neighbor source plus identity matches.
+	inTarget := make(map[string]int, len(target))
+	for j, e := range target {
+		inTarget[e] = j
+	}
+	w := make([][]float64, len(query))
+	any := false
+	for i, q := range query {
+		w[i] = make([]float64, len(target))
+		if j, ok := inTarget[q]; ok {
+			w[i][j] = 1
+			any = true
+		}
+		for _, n := range d.src.Neighbors(q, d.opts.Alpha) {
+			if j, ok := inTarget[n.Token]; ok && n.Token != q {
+				w[i][j] = n.Sim
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil, nil
+	}
+	res := matching.Hungarian(w)
+	var pairs []Pair
+	for i, j := range res.Match {
+		if j == -1 {
+			continue
+		}
+		pairs = append(pairs, Pair{QueryElement: query[i], SetElement: target[j], Sim: w[i][j]})
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].Sim != pairs[b].Sim {
+			return pairs[a].Sim > pairs[b].Sim
+		}
+		return pairs[a].QueryElement < pairs[b].QueryElement
+	})
+	return pairs, nil
+}
+
+func dedup(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

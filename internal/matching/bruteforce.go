@@ -1,0 +1,43 @@
+package matching
+
+// BruteForce computes the exact maximum-weight optional matching by dynamic
+// programming over column subsets. It runs in O(rows · 2^cols · cols) time
+// and exists solely as a test oracle for the Hungarian solver; cols must be
+// at most 20.
+func BruteForce(w [][]float64) float64 {
+	cols := 0
+	for _, row := range w {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	if cols > 20 {
+		panic("matching: BruteForce limited to 20 columns")
+	}
+	size := 1 << cols
+	dp := make([]float64, size)
+	next := make([]float64, size)
+	for _, row := range w {
+		copy(next, dp) // skipping this row is always allowed
+		for mask := 0; mask < size; mask++ {
+			base := dp[mask]
+			for j := 0; j < len(row); j++ {
+				if mask&(1<<j) != 0 || row[j] <= 0 {
+					continue
+				}
+				m2 := mask | 1<<j
+				if v := base + row[j]; v > next[m2] {
+					next[m2] = v
+				}
+			}
+		}
+		dp, next = next, dp
+	}
+	best := 0.0
+	for _, v := range dp {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,76 @@
+package matching
+
+import "sort"
+
+// Edge is a weighted edge of a bipartite graph between a query element
+// (row Q) and a candidate element (column C).
+type Edge struct {
+	Q, C int
+	W    float64
+}
+
+// Greedy computes the greedy maximum matching: edges are considered in
+// descending weight order and taken whenever both endpoints are free. The
+// result is at least half the optimal score (Vazirani [18]), which makes it
+// the LB filter of Lemma 3. Runs in O(E log E).
+//
+// Ties are broken by (Q, C) index so the result is deterministic.
+func Greedy(edges []Edge) Result {
+	sorted := make([]Edge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.W != b.W {
+			return a.W > b.W
+		}
+		if a.Q != b.Q {
+			return a.Q < b.Q
+		}
+		return a.C < b.C
+	})
+	return GreedyOrdered(sorted)
+}
+
+// GreedyOrdered computes the greedy matching of edges that are already in
+// descending weight order — exactly the situation in Koios's refinement
+// phase, where the token stream emits edges in that order (Lemma 5).
+func GreedyOrdered(edges []Edge) Result {
+	maxQ := -1
+	for _, e := range edges {
+		if e.Q > maxQ {
+			maxQ = e.Q
+		}
+	}
+	match := make([]int, maxQ+1)
+	for i := range match {
+		match[i] = -1
+	}
+	usedC := make(map[int]bool, len(edges))
+	score := 0.0
+	iterations := 0
+	for _, e := range edges {
+		iterations++
+		if e.W <= 0 {
+			continue
+		}
+		if match[e.Q] != -1 || usedC[e.C] {
+			continue
+		}
+		match[e.Q] = e.C
+		usedC[e.C] = true
+		score += e.W
+	}
+	return Result{Score: score, Match: match, Iterations: iterations}
+}
+
+// MaxEdge returns the largest edge weight, the other half of the LB filter
+// (Lemma 3(a)). It returns 0 for an empty edge list.
+func MaxEdge(edges []Edge) float64 {
+	best := 0.0
+	for _, e := range edges {
+		if e.W > best {
+			best = e.W
+		}
+	}
+	return best
+}

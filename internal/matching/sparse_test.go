@@ -1,0 +1,134 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSparseMatchTrivial(t *testing.T) {
+	cases := []struct {
+		name string
+		w    [][]float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", [][]float64{{0.7}}, 0.7},
+		{"zero matrix", [][]float64{{0, 0}, {0, 0}}, 0},
+		{"identity", [][]float64{{1, 0}, {0, 1}}, 2},
+		{"anti-diagonal better", [][]float64{{0.5, 0.9}, {0.9, 0.5}}, 1.8},
+		{"rectangular wide", [][]float64{{0.3, 0.8, 0.1}}, 0.8},
+		{"rectangular tall", [][]float64{{0.3}, {0.8}, {0.1}}, 0.8},
+		{"optional skip beats forced", [][]float64{{0.9, 0.8}, {0.85, 0}}, 1.65},
+		{"paper C2", [][]float64{
+			{1, 0, 0, 0, 0, 0, 0},
+			{0, 0, 0, 0, 0, 0, 0},
+			{0, 0, 0.85, 0, 0.80, 0, 0},
+			{0, 0, 0, 0.99, 0, 0, 0},
+			{0, 0, 0, 0, 0, 0, 0.90},
+			{0, 0, 0.80, 0, 0, 0, 0},
+		}, 4.49},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SparseMatchDense(tc.w)
+			if math.Abs(got.Score-tc.want) > 1e-9 {
+				t.Fatalf("Score = %v, want %v", got.Score, tc.want)
+			}
+		})
+	}
+}
+
+// TestSparseMatchAgainstHungarian: the two exact solvers must agree to
+// floating-point reproducibility on random instances of varying density.
+func TestSparseMatchAgainstHungarian(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 1500; trial++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		density := 0.1 + rng.Float64()*0.9
+		w := randMatrix(rng, rows, cols, density)
+		want := Hungarian(w).Score
+		got := SparseMatchDense(w)
+		if math.Abs(got.Score-want) > 1e-9 {
+			t.Fatalf("trial %d (%dx%d): sparse %v, hungarian %v, w=%v",
+				trial, rows, cols, got.Score, want, w)
+		}
+	}
+}
+
+func TestSparseMatchLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, density := range []float64{0.03, 0.1, 0.5} {
+		for trial := 0; trial < 8; trial++ {
+			n := 30 + rng.Intn(40)
+			w := randMatrix(rng, n, n, density)
+			want := Hungarian(w).Score
+			got := SparseMatchDense(w).Score
+			if math.Abs(got-want) > 1e-8 {
+				t.Fatalf("n=%d density=%v: sparse %v, hungarian %v", n, density, got, want)
+			}
+		}
+	}
+}
+
+func TestSparseMatchValidMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 300; trial++ {
+		rows, cols := 1+rng.Intn(7), 1+rng.Intn(7)
+		w := randMatrix(rng, rows, cols, 0.6)
+		res := SparseMatchDense(w)
+		used := map[int]bool{}
+		sum := 0.0
+		for i, j := range res.Match {
+			if j == -1 {
+				continue
+			}
+			if used[j] {
+				t.Fatalf("column %d matched twice", j)
+			}
+			used[j] = true
+			if w[i][j] <= 0 {
+				t.Fatalf("zero-weight edge matched at (%d,%d)", i, j)
+			}
+			sum += w[i][j]
+		}
+		if math.Abs(sum-res.Score) > 1e-9 {
+			t.Fatalf("match sums to %v, Score %v", sum, res.Score)
+		}
+	}
+}
+
+func TestSparseMatchAdjacencyInput(t *testing.T) {
+	adj := [][]SparseEdge{
+		{{Col: 0, W: 0.9}, {Col: 1, W: 0.8}},
+		{{Col: 0, W: 0.85}},
+	}
+	res := SparseMatch(adj, 2)
+	if math.Abs(res.Score-1.65) > 1e-9 {
+		t.Fatalf("Score = %v, want 1.65", res.Score)
+	}
+	if res.Match[0] != 1 || res.Match[1] != 0 {
+		t.Fatalf("Match = %v", res.Match)
+	}
+}
+
+func BenchmarkVerifiers(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, density := range []float64{0.05, 0.5} {
+		name := "sparse5pct"
+		if density > 0.1 {
+			name = "dense50pct"
+		}
+		w := randMatrix(rng, 128, 128, density)
+		b.Run("hungarian/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Hungarian(w)
+			}
+		})
+		b.Run("ssp/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SparseMatchDense(w)
+			}
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package pqueue
+
+// Buckets implements the iUB filter's dynamic candidate partitioning (§V of
+// the paper). Candidates are grouped by m, the number of matching slots that
+// remain open, and ordered inside each bucket by their accumulated score
+// ascending. Upon the arrival of a stream tuple with similarity s, every
+// candidate in bucket m whose score satisfies
+//
+//	score + m·s < θlb
+//
+// can be pruned, and because entries are score-ordered the scan of a bucket
+// stops at the first survivor.
+//
+// Buckets uses lazy deletion: moving a candidate from bucket m to m−1 (or
+// removing it) bumps the candidate's version and pushes a fresh entry, so a
+// stale entry is discarded when it surfaces at the top of its heap. This
+// keeps moves O(log n) regardless of bucket size, which matters on WDC-like
+// repositories where posting lists are long and candidates move often.
+type Buckets struct {
+	buckets map[int]*Heap[bucketEntry]
+	state   map[int]bucketState // key -> live version and position
+	live    int
+}
+
+type bucketEntry struct {
+	key     int
+	score   float64
+	version uint32
+}
+
+type bucketState struct {
+	version uint32
+	m       int
+	score   float64
+	present bool
+}
+
+// NewBuckets returns an empty bucket structure.
+func NewBuckets() *Buckets {
+	return &Buckets{
+		buckets: make(map[int]*Heap[bucketEntry]),
+		state:   make(map[int]bucketState),
+	}
+}
+
+// Len returns the number of live candidates.
+func (b *Buckets) Len() int { return b.live }
+
+// Score returns the accumulated score for a live candidate.
+func (b *Buckets) Score(key int) (float64, bool) {
+	st, ok := b.state[key]
+	if !ok || !st.present {
+		return 0, false
+	}
+	return st.score, true
+}
+
+// M returns the bucket index (open slots) for a live candidate.
+func (b *Buckets) M(key int) (int, bool) {
+	st, ok := b.state[key]
+	if !ok || !st.present {
+		return 0, false
+	}
+	return st.m, true
+}
+
+// Insert adds a new candidate with m open slots and an initial score.
+// Inserting an existing live key panics: the caller tracks candidate
+// lifecycle and must use Move.
+func (b *Buckets) Insert(key, m int, score float64) {
+	st := b.state[key]
+	if st.present {
+		panic("pqueue: Buckets.Insert on live key")
+	}
+	st.version++
+	st.m, st.score, st.present = m, score, true
+	b.state[key] = st
+	b.push(key, m, score, st.version)
+	b.live++
+}
+
+// Move relocates a live candidate to bucket m with an updated score. The
+// old entry becomes stale and is dropped lazily.
+func (b *Buckets) Move(key, m int, score float64) {
+	st, ok := b.state[key]
+	if !ok || !st.present {
+		panic("pqueue: Buckets.Move on dead key")
+	}
+	st.version++
+	st.m, st.score = m, score
+	b.state[key] = st
+	b.push(key, m, score, st.version)
+}
+
+// Remove deletes a live candidate (e.g. when it is promoted out of the
+// refinement phase or pruned by another filter).
+func (b *Buckets) Remove(key int) {
+	st, ok := b.state[key]
+	if !ok || !st.present {
+		return
+	}
+	st.version++
+	st.present = false
+	b.state[key] = st
+	b.live--
+}
+
+// Prune scans every bucket and removes candidates whose upper bound
+// score + m·s falls strictly below theta, invoking onPrune for each.
+// It returns the number of candidates pruned. Stale entries encountered at
+// the top of a heap are discarded along the way.
+func (b *Buckets) Prune(s, theta float64, onPrune func(key int, score float64, m int)) int {
+	pruned := 0
+	for m, h := range b.buckets {
+		for h.Len() > 0 {
+			top := h.Peek()
+			st := b.state[top.key]
+			if !st.present || st.version != top.version {
+				h.Pop() // stale
+				continue
+			}
+			if top.score+float64(m)*s >= theta {
+				break // survivors only from here on: entries are score-ordered
+			}
+			h.Pop()
+			st.version++
+			st.present = false
+			b.state[top.key] = st
+			b.live--
+			pruned++
+			onPrune(top.key, top.score, m)
+		}
+		if h.Len() == 0 {
+			delete(b.buckets, m)
+		}
+	}
+	return pruned
+}
+
+// Drain removes and returns all live candidates as (key, score, m) triples,
+// leaving the structure empty. Refinement calls this once the token stream
+// is exhausted to hand survivors to post-processing.
+func (b *Buckets) Drain(visit func(key int, score float64, m int)) {
+	for key, st := range b.state {
+		if st.present {
+			visit(key, st.score, st.m)
+		}
+	}
+	b.buckets = make(map[int]*Heap[bucketEntry])
+	b.state = make(map[int]bucketState)
+	b.live = 0
+}
+
+func (b *Buckets) push(key, m int, score float64, version uint32) {
+	h, ok := b.buckets[m]
+	if !ok {
+		h = NewHeap[bucketEntry](func(a, c bucketEntry) bool { return a.score < c.score })
+		b.buckets[m] = h
+	}
+	h.Push(bucketEntry{key: key, score: score, version: version})
+}

@@ -1,0 +1,155 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBucketsInsertPrune(t *testing.T) {
+	b := NewBuckets()
+	b.Insert(1, 2, 0.5) // UB at s: 0.5 + 2s
+	b.Insert(2, 2, 1.5) // 1.5 + 2s
+	b.Insert(3, 1, 0.2) // 0.2 + s
+
+	var pruned []int
+	n := b.Prune(0.1, 1.0, func(key int, score float64, m int) { pruned = append(pruned, key) })
+	// UBs at s=0.1: key1=0.7, key2=1.7, key3=0.3. θ=1.0 prunes keys 1 and 3.
+	if n != 2 {
+		t.Fatalf("Prune removed %d, want 2 (got %v)", n, pruned)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+	if _, ok := b.Score(2); !ok {
+		t.Fatal("survivor key 2 missing")
+	}
+}
+
+func TestBucketsPruneStopsAtSurvivor(t *testing.T) {
+	// Entries in a bucket are score-ordered; the scan must stop at the first
+	// survivor even if a later entry would also survive (they all do, by
+	// monotonicity).
+	b := NewBuckets()
+	for i := 0; i < 100; i++ {
+		b.Insert(i, 3, float64(i))
+	}
+	n := b.Prune(0.0, 50.0, func(int, float64, int) {})
+	if n != 50 {
+		t.Fatalf("pruned %d, want 50", n)
+	}
+	if b.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", b.Len())
+	}
+}
+
+func TestBucketsMoveInvalidatesOldEntry(t *testing.T) {
+	b := NewBuckets()
+	b.Insert(1, 5, 0.1)
+	b.Move(1, 4, 0.9)
+	if m, _ := b.M(1); m != 4 {
+		t.Fatalf("M = %d, want 4", m)
+	}
+	// The stale entry in bucket 5 (score 0.1) must not cause a prune.
+	var pruned []int
+	b.Prune(0.0, 0.5, func(key int, _ float64, _ int) { pruned = append(pruned, key) })
+	if len(pruned) != 0 {
+		t.Fatalf("stale entry pruned live key: %v", pruned)
+	}
+	if got, _ := b.Score(1); got != 0.9 {
+		t.Fatalf("Score = %v, want 0.9", got)
+	}
+	// Lowering theta below the live UB must not prune; raising above must.
+	b.Prune(0.0, 0.95, func(key int, _ float64, _ int) { pruned = append(pruned, key) })
+	if len(pruned) != 1 || pruned[0] != 1 {
+		t.Fatalf("live entry not pruned: %v", pruned)
+	}
+}
+
+func TestBucketsRemove(t *testing.T) {
+	b := NewBuckets()
+	b.Insert(1, 2, 0.3)
+	b.Remove(1)
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", b.Len())
+	}
+	b.Remove(1) // idempotent
+	if _, ok := b.Score(1); ok {
+		t.Fatal("removed key still live")
+	}
+	// Reinsertion after removal is allowed.
+	b.Insert(1, 1, 0.7)
+	if got, _ := b.Score(1); got != 0.7 {
+		t.Fatalf("Score after reinsert = %v", got)
+	}
+}
+
+func TestBucketsDrain(t *testing.T) {
+	b := NewBuckets()
+	b.Insert(1, 2, 0.1)
+	b.Insert(2, 3, 0.2)
+	b.Remove(1)
+	got := map[int]float64{}
+	b.Drain(func(key int, score float64, m int) { got[key] = score })
+	if len(got) != 1 || got[2] != 0.2 {
+		t.Fatalf("Drain = %v, want map[2:0.2]", got)
+	}
+	if b.Len() != 0 {
+		t.Fatal("Drain left live entries")
+	}
+}
+
+// TestBucketsRandomizedAgainstNaive simulates the refinement pattern:
+// random inserts, bucket moves with rising scores, and prunes with rising
+// theta / falling s, comparing against a naive map-based implementation.
+func TestBucketsRandomizedAgainstNaive(t *testing.T) {
+	type naiveState struct {
+		m     int
+		score float64
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		b := NewBuckets()
+		naive := map[int]naiveState{}
+		nextKey := 0
+		s := 1.0
+		theta := 0.0
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // insert
+				m := 1 + rng.Intn(6)
+				score := rng.Float64()
+				b.Insert(nextKey, m, score)
+				naive[nextKey] = naiveState{m, score}
+				nextKey++
+			case op < 7: // move a random live key down a bucket, score up
+				for k, st := range naive {
+					if st.m > 0 {
+						st.m--
+						st.score += rng.Float64() * 0.2
+						naive[k] = st
+						b.Move(k, st.m, st.score)
+					}
+					break
+				}
+			default: // prune with slightly decayed s and raised theta
+				s *= 0.98
+				theta += rng.Float64() * 0.05
+				got := map[int]bool{}
+				b.Prune(s, theta, func(key int, _ float64, _ int) { got[key] = true })
+				for k, st := range naive {
+					want := st.score+float64(st.m)*s < theta
+					if want != got[k] {
+						t.Fatalf("trial %d step %d: key %d pruned=%v, want %v (score=%v m=%d s=%v theta=%v)",
+							trial, step, k, got[k], want, st.score, st.m, s, theta)
+					}
+					if want {
+						delete(naive, k)
+					}
+				}
+				if b.Len() != len(naive) {
+					t.Fatalf("Len = %d, want %d", b.Len(), len(naive))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapPushPopOrder(t *testing.T) {
+	h := NewHeap[int](func(a, b int) bool { return a < b })
+	in := []int{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	for _, v := range in {
+		h.Push(v)
+	}
+	if h.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(in))
+	}
+	for want := 0; want < len(in); want++ {
+		if got := h.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", h.Len())
+	}
+}
+
+func TestHeapMaxOrder(t *testing.T) {
+	h := NewHeap[float64](func(a, b float64) bool { return a > b })
+	for _, v := range []float64{0.1, 0.9, 0.5, 0.7} {
+		h.Push(v)
+	}
+	if got := h.Pop(); got != 0.9 {
+		t.Fatalf("Pop = %v, want 0.9", got)
+	}
+	if got := h.Peek(); got != 0.7 {
+		t.Fatalf("Peek = %v, want 0.7", got)
+	}
+}
+
+func TestNewHeapFrom(t *testing.T) {
+	items := []int{9, 4, 7, 1, 3}
+	h := NewHeapFrom(items, func(a, b int) bool { return a < b })
+	var out []int
+	for h.Len() > 0 {
+		out = append(out, h.Pop())
+	}
+	if !sort.IntsAreSorted(out) {
+		t.Fatalf("drained order not sorted: %v", out)
+	}
+}
+
+func TestHeapReset(t *testing.T) {
+	h := NewHeap[int](func(a, b int) bool { return a < b })
+	h.Push(3)
+	h.Push(1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+	h.Push(2)
+	if got := h.Pop(); got != 2 {
+		t.Fatalf("Pop after Reset = %d, want 2", got)
+	}
+}
+
+func TestHeapSortsArbitraryInput(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := NewHeap[int16](func(a, b int16) bool { return a < b })
+		for _, v := range vals {
+			h.Push(v)
+		}
+		prev := int16(-32768)
+		for h.Len() > 0 {
+			v := h.Pop()
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHeap[int](func(a, b int) bool { return a < b })
+	var mirror []int
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(3) > 0 || len(mirror) == 0 {
+			v := rng.Intn(1000)
+			h.Push(v)
+			mirror = append(mirror, v)
+		} else {
+			got := h.Pop()
+			sort.Ints(mirror)
+			want := mirror[0]
+			mirror = mirror[1:]
+			if got != want {
+				t.Fatalf("step %d: Pop = %d, want %d", i, got, want)
+			}
+		}
+	}
+}

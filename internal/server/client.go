@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a thin JSON client for a Koios server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets baseURL (e.g. "http://localhost:7411"). httpClient may
+// be nil for http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Search runs a top-k query. k=0 uses the server default.
+func (c *Client) Search(query []string, k int) (*SearchResponse, error) {
+	var out SearchResponse
+	if err := c.post("/v1/search", SearchRequest{Query: query, K: k}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Overlap computes pairwise measures of two sets.
+func (c *Client) Overlap(a, b []string) (*OverlapResponse, error) {
+	var out OverlapResponse
+	if err := c.post("/v1/overlap", OverlapRequest{A: a, B: b}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Info fetches collection metadata.
+func (c *Client) Info() (*InfoResponse, error) {
+	resp, err := c.http.Get(c.base + "/v1/info")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out InfoResponse
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthy reports whether the server answers its liveness probe.
+func (c *Client) Healthy() bool {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (c *Client) post(path string, body, dst any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, dst)
+}
+
+func decodeResponse(resp *http.Response, dst any) error {
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}

@@ -1,0 +1,316 @@
+// Package server exposes a Koios engine over HTTP with a JSON API — the
+// deployment shape a downstream user runs: load a dataset once, keep the
+// indexes warm, and answer top-k semantic overlap queries from many clients
+// concurrently (the engine is safe for concurrent searches).
+//
+// Endpoints:
+//
+//	POST /v1/search   {"query": [...], "k": 5}          → top-k results + stats
+//	POST /v1/overlap  {"a": [...], "b": [...]}          → pairwise measures
+//	GET  /v1/info                                        → collection metadata
+//	GET  /healthz                                        → liveness
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/matching"
+	"repro/internal/sets"
+)
+
+// Config parameterizes the served engine.
+type Config struct {
+	// K is the default result size; requests may lower or raise it up to
+	// MaxK.
+	K int
+	// MaxK caps per-request k (guards against a request allocating huge
+	// top-k structures). Default 1000.
+	MaxK int
+	// Alpha is the element similarity threshold; fixed per server because
+	// the token index retrieval threshold is part of engine construction.
+	Alpha float64
+	// Partitions and Workers mirror core.Options.
+	Partitions, Workers int
+	// MaxQueryElements rejects oversized queries. Default 100000.
+	MaxQueryElements int
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.8
+	}
+	if c.MaxQueryElements <= 0 {
+		c.MaxQueryElements = 100000
+	}
+	return c
+}
+
+// Server is the HTTP handler set around one repository.
+type Server struct {
+	cfg    Config
+	repo   *sets.Repository
+	src    index.NeighborSource
+	engine *core.Engine
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// New builds a server around one repository and similarity index. The
+// default-k engine is constructed eagerly; requests with a different k get
+// a per-request engine (cheap: the repository and similarity index are
+// shared, only partition posting lists are rebuilt).
+func New(repo *sets.Repository, src index.NeighborSource, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		repo:  repo,
+		src:   src,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.engine = core.NewEngine(repo, src, core.Options{
+		K:           cfg.K,
+		Alpha:       cfg.Alpha,
+		Partitions:  cfg.Partitions,
+		Workers:     cfg.Workers,
+		ExactScores: true,
+	})
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/overlap", s.handleOverlap)
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SearchRequest is the body of POST /v1/search.
+type SearchRequest struct {
+	Query []string `json:"query"`
+	// K overrides the server default when in [1, MaxK].
+	K int `json:"k,omitempty"`
+}
+
+// SearchResult is one entry of a search response.
+type SearchResult struct {
+	SetID    int     `json:"set_id"`
+	SetName  string  `json:"set_name"`
+	Score    float64 `json:"score"`
+	Verified bool    `json:"verified"`
+}
+
+// SearchResponse is the body of a successful search.
+type SearchResponse struct {
+	Results []SearchResult `json:"results"`
+	Stats   SearchStats    `json:"stats"`
+}
+
+// SearchStats is the wire form of the engine statistics.
+type SearchStats struct {
+	Candidates   int   `json:"candidates"`
+	IUBPruned    int   `json:"iub_pruned"`
+	NoEM         int   `json:"no_em"`
+	EMEarly      int   `json:"em_early"`
+	EMFull       int   `json:"em_full"`
+	StreamTuples int   `json:"stream_tuples"`
+	RefineUS     int64 `json:"refine_us"`
+	PostprocUS   int64 `json:"postproc_us"`
+	MemoryBytes  int64 `json:"memory_bytes"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if len(req.Query) == 0 {
+		httpError(w, http.StatusBadRequest, "query must not be empty")
+		return
+	}
+	if len(req.Query) > s.cfg.MaxQueryElements {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("query has %d elements, limit %d", len(req.Query), s.cfg.MaxQueryElements))
+		return
+	}
+	k := req.K
+	switch {
+	case k == 0:
+		k = s.cfg.K
+	case k < 0 || k > s.cfg.MaxK:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("k=%d outside [1,%d]", k, s.cfg.MaxK))
+		return
+	}
+
+	eng := s.engine
+	if k != s.cfg.K {
+		// k shapes the pruning thresholds, so a non-default k needs its own
+		// engine; index structures are shared through repo/src, so this is
+		// cheap (partition layout + posting lists).
+		eng = core.NewEngine(s.repo, s.src, core.Options{
+			K:           k,
+			Alpha:       s.cfg.Alpha,
+			Partitions:  s.cfg.Partitions,
+			Workers:     s.cfg.Workers,
+			ExactScores: true,
+		})
+	}
+	results, stats := eng.Search(req.Query)
+	resp := SearchResponse{
+		Results: make([]SearchResult, len(results)),
+		Stats: SearchStats{
+			Candidates:   stats.Candidates,
+			IUBPruned:    stats.IUBPruned,
+			NoEM:         stats.NoEM,
+			EMEarly:      stats.EMEarly,
+			EMFull:       stats.EMFull,
+			StreamTuples: stats.StreamTuples,
+			RefineUS:     stats.RefineTime.Microseconds(),
+			PostprocUS:   stats.PostprocTime.Microseconds(),
+			MemoryBytes:  stats.TotalBytes(),
+		},
+	}
+	for i, res := range results {
+		resp.Results[i] = SearchResult{
+			SetID:    res.SetID,
+			SetName:  s.repo.Set(res.SetID).Name,
+			Score:    res.Score,
+			Verified: res.Verified,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// OverlapRequest is the body of POST /v1/overlap.
+type OverlapRequest struct {
+	A []string `json:"a"`
+	B []string `json:"b"`
+}
+
+// OverlapResponse reports the pairwise measures of the two sets.
+type OverlapResponse struct {
+	Semantic float64 `json:"semantic"`
+	Vanilla  int     `json:"vanilla"`
+	Greedy   float64 `json:"greedy"`
+}
+
+func (s *Server) handleOverlap(w http.ResponseWriter, r *http.Request) {
+	var req OverlapRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if len(req.A) == 0 || len(req.B) == 0 {
+		httpError(w, http.StatusBadRequest, "both sets must be non-empty")
+		return
+	}
+	if len(req.A) > s.cfg.MaxQueryElements || len(req.B) > s.cfg.MaxQueryElements {
+		httpError(w, http.StatusBadRequest, "set too large")
+		return
+	}
+	sem, greedy, vanilla := pairwise(req.A, req.B, s.src, s.cfg.Alpha)
+	writeJSON(w, http.StatusOK, OverlapResponse{Semantic: sem, Vanilla: vanilla, Greedy: greedy})
+}
+
+// pairwise computes the three measures from the neighbor source's edges.
+func pairwise(a, b []string, src index.NeighborSource, alpha float64) (sem, greedy float64, vanilla int) {
+	a, b = dedup(a), dedup(b)
+	inB := make(map[string]int, len(b))
+	for j, y := range b {
+		inB[y] = j
+	}
+	var edges []matching.Edge
+	w := make([][]float64, len(a))
+	for i, x := range a {
+		w[i] = make([]float64, len(b))
+		if j, ok := inB[x]; ok {
+			vanilla++
+			w[i][j] = 1
+			edges = append(edges, matching.Edge{Q: i, C: j, W: 1})
+		}
+		for _, n := range src.Neighbors(x, alpha) {
+			if j, ok := inB[n.Token]; ok && n.Token != x {
+				w[i][j] = n.Sim
+				edges = append(edges, matching.Edge{Q: i, C: j, W: n.Sim})
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return 0, 0, 0
+	}
+	return matching.Hungarian(w).Score, matching.Greedy(edges).Score, vanilla
+}
+
+// InfoResponse is the body of GET /v1/info.
+type InfoResponse struct {
+	Sets       int     `json:"sets"`
+	Vocabulary int     `json:"vocabulary"`
+	K          int     `json:"default_k"`
+	Alpha      float64 `json:"alpha"`
+	Partitions int     `json:"partitions"`
+	UptimeSec  float64 `json:"uptime_sec"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, InfoResponse{
+		Sets:       s.repo.Len(),
+		Vocabulary: len(s.repo.Vocabulary()),
+		K:          s.cfg.K,
+		Alpha:      s.cfg.Alpha,
+		Partitions: s.cfg.Partitions,
+		UptimeSec:  time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+func dedup(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

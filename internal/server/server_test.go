@@ -1,0 +1,265 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/sets"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *datagen.Dataset) {
+	t.Helper()
+	ds := datagen.GenerateDefault(datagen.Twitter, 0.02)
+	src := index.NewExact(ds.Repo.Vocabulary(), ds.Model.Vector)
+	srv := New(ds.Repo, src, Config{K: 5, Alpha: 0.8, Partitions: 2, Workers: 2})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, ds
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts, ds := testServer(t)
+	c := NewClient(ts.URL, nil)
+	query := ds.Repo.Set(0).Elements
+
+	resp, err := c.Search(query, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("no results for self query")
+	}
+	if resp.Results[0].Score < float64(len(query))-1e-9 {
+		t.Fatalf("top-1 score %v below self overlap", resp.Results[0].Score)
+	}
+	if !resp.Results[0].Verified {
+		t.Fatal("server must return exact scores")
+	}
+	if resp.Stats.Candidates == 0 || resp.Stats.StreamTuples == 0 {
+		t.Fatalf("stats not populated: %+v", resp.Stats)
+	}
+	// Results in descending order.
+	for i := 1; i < len(resp.Results); i++ {
+		if resp.Results[i].Score > resp.Results[i-1].Score+1e-9 {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestSearchCustomK(t *testing.T) {
+	ts, ds := testServer(t)
+	c := NewClient(ts.URL, nil)
+	query := ds.Repo.Set(1).Elements
+	r2, err := c.Search(query, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Results) > 2 {
+		t.Fatalf("k=2 returned %d results", len(r2.Results))
+	}
+	r5, err := c.Search(query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r5.Results) < len(r2.Results) {
+		t.Fatal("larger k returned fewer results")
+	}
+	// The top-2 must agree between the two engines.
+	for i := range r2.Results {
+		if math.Abs(r2.Results[i].Score-r5.Results[i].Score) > 1e-9 {
+			t.Fatalf("rank %d differs between k=2 and k=5", i)
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ts, _ := testServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty query", `{"query": []}`},
+		{"missing query", `{}`},
+		{"negative k", `{"query":["x"],"k":-1}`},
+		{"huge k", `{"query":["x"],"k":99999}`},
+		{"unknown field", `{"query":["x"],"bogus":1}`},
+		{"malformed", `{`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/search", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			var eb errorBody
+			if json.NewDecoder(resp.Body).Decode(&eb) != nil || eb.Error == "" {
+				t.Fatal("error body missing")
+			}
+		})
+	}
+}
+
+func TestOverlapEndpoint(t *testing.T) {
+	ts, ds := testServer(t)
+	c := NewClient(ts.URL, nil)
+	a := ds.Repo.Set(0).Elements
+	resp, err := c.Overlap(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(len(a))
+	if math.Abs(resp.Semantic-want) > 1e-9 || resp.Vanilla != len(a) {
+		t.Fatalf("self overlap = %+v, want %v", resp, want)
+	}
+	if resp.Greedy > resp.Semantic+1e-9 || resp.Greedy < resp.Semantic/2-1e-9 {
+		t.Fatalf("greedy %v outside [sem/2, sem]", resp.Greedy)
+	}
+	if _, err := c.Overlap(nil, a); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestOverlapMatchesPublicMeasure(t *testing.T) {
+	// pairwise() uses index edges; it must agree with a direct matrix
+	// build on sets from the collection vocabulary.
+	ts, ds := testServer(t)
+	c := NewClient(ts.URL, nil)
+	a := ds.Repo.Set(2).Elements
+	b := ds.Repo.Set(3).Elements
+	resp, err := c.Overlap(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vanilla overlap is independent of the index: verify directly.
+	inA := map[string]bool{}
+	for _, x := range a {
+		inA[x] = true
+	}
+	vanilla := 0
+	for _, y := range dedupTest(b) {
+		if inA[y] {
+			vanilla++
+		}
+	}
+	if resp.Vanilla != vanilla {
+		t.Fatalf("vanilla = %d, want %d", resp.Vanilla, vanilla)
+	}
+	if resp.Semantic < float64(vanilla)-1e-9 {
+		t.Fatalf("semantic %v below vanilla %d (Lemma 1)", resp.Semantic, vanilla)
+	}
+}
+
+func TestInfoAndHealth(t *testing.T) {
+	ts, ds := testServer(t)
+	c := NewClient(ts.URL, nil)
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Sets != ds.Repo.Len() || info.K != 5 || info.Alpha != 0.8 {
+		t.Fatalf("info = %+v", info)
+	}
+	if !c.Healthy() {
+		t.Fatal("healthz failed")
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("GET /v1/search should not be routed")
+	}
+	resp, err = http.Post(ts.URL+"/v1/info", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("POST /v1/info should not be routed")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ts, ds := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := NewClient(ts.URL, nil)
+			q := ds.Repo.Set(g % ds.Repo.Len()).Elements
+			if len(q) == 0 {
+				return
+			}
+			if _, err := c.Search(q, 3); err != nil {
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", nil) // nothing listens on port 1
+	if c.Healthy() {
+		t.Fatal("dead server reported healthy")
+	}
+	if _, err := c.Search([]string{"x"}, 1); err == nil {
+		t.Fatal("search against dead server succeeded")
+	}
+}
+
+func TestMaxQueryElements(t *testing.T) {
+	ds := datagen.GenerateDefault(datagen.Twitter, 0.02)
+	src := index.NewExact(ds.Repo.Vocabulary(), ds.Model.Vector)
+	srv := New(ds.Repo, src, Config{K: 3, Alpha: 0.8, MaxQueryElements: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	if _, err := c.Search([]string{"a", "b", "c", "d", "e"}, 0); err == nil {
+		t.Fatal("oversized query accepted")
+	}
+}
+
+func TestPairwiseNoEdges(t *testing.T) {
+	repo := sets.NewRepository([]sets.Set{{Elements: []string{"x"}}})
+	src := index.NewExact(repo.Vocabulary(), func(string) ([]float32, bool) { return nil, false })
+	sem, greedy, vanilla := pairwise([]string{"a"}, []string{"b"}, src, 0.8)
+	if sem != 0 || greedy != 0 || vanilla != 0 {
+		t.Fatalf("disjoint OOV sets scored %v/%v/%d", sem, greedy, vanilla)
+	}
+}
+
+func dedupTest(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

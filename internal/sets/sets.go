@@ -1,0 +1,144 @@
+// Package sets defines the set repository Koios searches over: set storage
+// with distinct string elements, vocabulary extraction, the cardinality
+// statistics reported in Table I of the paper, and the random partitioning
+// used by the scale-out driver (§VI).
+package sets
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Set is a named collection of distinct string elements.
+type Set struct {
+	// ID is the set's position in its repository; assigned by NewRepository.
+	ID int
+	// Name is an external identifier (e.g. "table:column" or a tweet id).
+	Name string
+	// Elements are the distinct tokens of the set.
+	Elements []string
+}
+
+// Repository is an immutable collection of sets plus derived metadata.
+type Repository struct {
+	sets  []Set
+	vocab []string
+}
+
+// NewRepository builds a repository from raw sets: elements are
+// de-duplicated (preserving first occurrence), IDs are assigned by position,
+// and the vocabulary is collected. Empty sets are kept (they can never be
+// candidates, which exercises a pruning edge case).
+func NewRepository(raw []Set) *Repository {
+	r := &Repository{sets: make([]Set, len(raw))}
+	vocabSeen := make(map[string]bool)
+	for i, s := range raw {
+		elems := dedup(s.Elements)
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("set-%d", i)
+		}
+		r.sets[i] = Set{ID: i, Name: name, Elements: elems}
+		for _, e := range elems {
+			if !vocabSeen[e] {
+				vocabSeen[e] = true
+				r.vocab = append(r.vocab, e)
+			}
+		}
+	}
+	return r
+}
+
+func dedup(elems []string) []string {
+	seen := make(map[string]bool, len(elems))
+	out := make([]string, 0, len(elems))
+	for _, e := range elems {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of sets.
+func (r *Repository) Len() int { return len(r.sets) }
+
+// Set returns the set with the given ID.
+func (r *Repository) Set(id int) Set { return r.sets[id] }
+
+// Sets returns all sets. Callers must not mutate the result.
+func (r *Repository) Sets() []Set { return r.sets }
+
+// Vocabulary returns the distinct elements across all sets in first-seen
+// order. Callers must not mutate the result.
+func (r *Repository) Vocabulary() []string { return r.vocab }
+
+// Stats are the dataset characteristics of Table I.
+type Stats struct {
+	NumSets     int
+	MaxSize     int
+	AvgSize     float64
+	UniqueElems int
+}
+
+// Stats computes Table I's characteristics for the repository.
+func (r *Repository) Stats() Stats {
+	st := Stats{NumSets: len(r.sets), UniqueElems: len(r.vocab)}
+	total := 0
+	for _, s := range r.sets {
+		n := len(s.Elements)
+		total += n
+		if n > st.MaxSize {
+			st.MaxSize = n
+		}
+	}
+	if len(r.sets) > 0 {
+		st.AvgSize = float64(total) / float64(len(r.sets))
+	}
+	return st
+}
+
+// Partition splits the set IDs into n random partitions of near-equal size
+// (§VI: "we randomly partition the repository and run Koios on partitions in
+// parallel"). The same seed always yields the same partitioning.
+func (r *Repository) Partition(n int, seed int64) [][]int {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.sets) && len(r.sets) > 0 {
+		n = len(r.sets)
+	}
+	ids := make([]int, len(r.sets))
+	for i := range ids {
+		ids[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	parts := make([][]int, n)
+	for i, id := range ids {
+		parts[i%n] = append(parts[i%n], id)
+	}
+	return parts
+}
+
+// CardinalityPercentiles returns the set-size values at the requested
+// percentiles (0–100), used by the bench harness to pick interval bounds on
+// skewed repositories.
+func (r *Repository) CardinalityPercentiles(pcts ...float64) []int {
+	sizes := make([]int, len(r.sets))
+	for i, s := range r.sets {
+		sizes[i] = len(s.Elements)
+	}
+	sort.Ints(sizes)
+	out := make([]int, len(pcts))
+	for i, p := range pcts {
+		if len(sizes) == 0 {
+			continue
+		}
+		idx := int(p / 100 * float64(len(sizes)-1))
+		out[i] = sizes[idx]
+	}
+	return out
+}

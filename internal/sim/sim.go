@@ -1,0 +1,243 @@
+// Package sim provides the element similarity functions that parameterize
+// the semantic overlap measure (Def. 1): a Func must be symmetric, return 1
+// for identical elements, and a value in [0,1] otherwise. The package ships
+// the functions used in the paper — cosine over embedding vectors, Jaccard
+// over white-space words, Jaccard over q-grams (the SilkMoth comparison,
+// §VIII-B), normalized edit distance, and exact equality (which reduces the
+// semantic overlap to the vanilla overlap).
+package sim
+
+import (
+	"math"
+	"strings"
+)
+
+// Func computes the similarity of two set elements.
+type Func interface {
+	// Sim returns a symmetric similarity in [0,1], and exactly 1 for equal
+	// strings.
+	Sim(a, b string) float64
+	// Name identifies the function in logs and benchmark output.
+	Name() string
+}
+
+// Thresholded wraps fn with the α cut-off of Def. 1: values below alpha
+// collapse to 0.
+type Thresholded struct {
+	Fn    Func
+	Alpha float64
+}
+
+// Sim implements Func.
+func (t Thresholded) Sim(a, b string) float64 {
+	s := t.Fn.Sim(a, b)
+	if s < t.Alpha {
+		return 0
+	}
+	return s
+}
+
+// Name implements Func.
+func (t Thresholded) Name() string { return t.Fn.Name() + "@alpha" }
+
+// Exact is the equality similarity: 1 for identical strings, 0 otherwise.
+// Semantic overlap under Exact is the vanilla overlap (§II).
+type Exact struct{}
+
+// Sim implements Func.
+func (Exact) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Func.
+func (Exact) Name() string { return "exact" }
+
+// JaccardWords compares the white-space separated word sets of two elements,
+// the element similarity used by SilkMoth for multi-word strings.
+type JaccardWords struct{}
+
+// Sim implements Func.
+func (JaccardWords) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return jaccard(strings.Fields(a), strings.Fields(b))
+}
+
+// Name implements Func.
+func (JaccardWords) Name() string { return "jaccard-words" }
+
+// JaccardQGrams compares the q-gram sets of two elements. With Q=3 it
+// reproduces the paper's running example: Jaccard(Blaine, Blain) = 3/4.
+// Strings shorter than Q contribute themselves as a single gram.
+type JaccardQGrams struct {
+	Q int
+}
+
+// Sim implements Func.
+func (j JaccardQGrams) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return jaccard(QGrams(a, j.q()), QGrams(b, j.q()))
+}
+
+func (j JaccardQGrams) q() int {
+	if j.Q <= 0 {
+		return 3
+	}
+	return j.Q
+}
+
+// Name implements Func.
+func (j JaccardQGrams) Name() string { return "jaccard-qgrams" }
+
+// QGrams returns the distinct q-grams of s in first-occurrence order.
+func QGrams(s string, q int) []string {
+	if len(s) <= q {
+		if s == "" {
+			return nil
+		}
+		return []string{s}
+	}
+	seen := make(map[string]bool, len(s))
+	grams := make([]string, 0, len(s)-q+1)
+	for i := 0; i+q <= len(s); i++ {
+		g := s[i : i+q]
+		if !seen[g] {
+			seen[g] = true
+			grams = append(grams, g)
+		}
+	}
+	return grams
+}
+
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inA := make(map[string]bool, len(a))
+	for _, x := range a {
+		inA[x] = true
+	}
+	inter := 0
+	seen := make(map[string]bool, len(b))
+	distinctB := 0
+	for _, x := range b {
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		distinctB++
+		if inA[x] {
+			inter++
+		}
+	}
+	union := len(inA) + distinctB - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// EditSimilarity is the normalized edit-distance similarity
+// 1 − lev(a,b)/max(|a|,|b|), a common character-level choice [16].
+type EditSimilarity struct{}
+
+// Sim implements Func.
+func (EditSimilarity) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	d := levenshtein(a, b)
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(d)/float64(m)
+}
+
+// Name implements Func.
+func (EditSimilarity) Name() string { return "edit" }
+
+func levenshtein(a, b string) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// Cosine computes the cosine similarity of two vectors, clamped to [0,1]
+// (negative cosines carry no overlap signal and Def. 1 requires a
+// non-negative similarity). Returns 0 when either vector is zero.
+func Cosine(a, b []float32) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// Dot returns the inner product of two unit vectors clamped to [0,1]; for
+// normalized embeddings it equals Cosine but skips the norm computation.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var dot float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	if dot < 0 {
+		return 0
+	}
+	if dot > 1 {
+		return 1
+	}
+	return dot
+}

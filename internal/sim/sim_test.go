@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func TestExact(t *testing.T) {
+	var f Exact
+	if f.Sim("a", "a") != 1 || f.Sim("a", "b") != 0 {
+		t.Fatal("Exact similarity wrong")
+	}
+}
+
+// TestPaperQGramExamples checks the Jaccard-of-3-grams numbers printed in
+// Figure 1 of the paper.
+func TestPaperQGramExamples(t *testing.T) {
+	f := JaccardQGrams{Q: 3}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"Blaine", "Blain", 3.0 / 4.0},
+		{"BigApple", "Appleton", 1.0 / 3.0},
+		{"BigApple", "NewYorkCity", 0},
+	}
+	for _, tc := range cases {
+		if got := f.Sim(tc.a, tc.b); math.Abs(got-tc.want) > tol {
+			t.Errorf("Sim(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestQGramsShortStrings(t *testing.T) {
+	if got := QGrams("", 3); got != nil {
+		t.Fatalf("QGrams(\"\") = %v", got)
+	}
+	if got := QGrams("ab", 3); len(got) != 1 || got[0] != "ab" {
+		t.Fatalf("QGrams(\"ab\") = %v", got)
+	}
+	if got := QGrams("abc", 3); len(got) != 1 || got[0] != "abc" {
+		t.Fatalf("QGrams(\"abc\") = %v", got)
+	}
+	// Duplicate grams collapse: "aaaa" has a single distinct 3-gram.
+	if got := QGrams("aaaa", 3); len(got) != 1 {
+		t.Fatalf("QGrams(\"aaaa\") = %v", got)
+	}
+}
+
+func TestJaccardWords(t *testing.T) {
+	var f JaccardWords
+	if got := f.Sim("new york city", "york city hall"); math.Abs(got-2.0/4.0) > tol {
+		t.Fatalf("Sim = %v, want 0.5", got)
+	}
+	if got := f.Sim("a b", "a b"); got != 1 {
+		t.Fatalf("identical strings = %v, want 1", got)
+	}
+	if got := f.Sim("", ""); got != 1 {
+		t.Fatalf("empty identical = %v, want 1 (Def. 1: identical ⇒ 1)", got)
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	var f EditSimilarity
+	if got := f.Sim("kitten", "sitting"); math.Abs(got-(1-3.0/7.0)) > tol {
+		t.Fatalf("Sim(kitten,sitting) = %v", got)
+	}
+	if f.Sim("abc", "abc") != 1 {
+		t.Fatal("identical != 1")
+	}
+	if f.Sim("", "x") != 0 {
+		t.Fatal("empty vs non-empty != 0")
+	}
+}
+
+// Properties required by Def. 1: symmetry, range [0,1], identity ⇒ 1.
+func TestFuncProperties(t *testing.T) {
+	funcs := []Func{Exact{}, JaccardWords{}, JaccardQGrams{Q: 3}, JaccardQGrams{Q: 2}, EditSimilarity{}}
+	alphabet := []rune("abcde ")
+	rng := rand.New(rand.NewSource(41))
+	randStr := func() string {
+		n := rng.Intn(12)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteRune(alphabet[rng.Intn(len(alphabet))])
+		}
+		return sb.String()
+	}
+	for _, f := range funcs {
+		for trial := 0; trial < 500; trial++ {
+			a, b := randStr(), randStr()
+			sab, sba := f.Sim(a, b), f.Sim(b, a)
+			if math.Abs(sab-sba) > tol {
+				t.Fatalf("%s not symmetric on (%q,%q): %v vs %v", f.Name(), a, b, sab, sba)
+			}
+			if sab < 0 || sab > 1 {
+				t.Fatalf("%s out of range on (%q,%q): %v", f.Name(), a, b, sab)
+			}
+			if f.Sim(a, a) != 1 {
+				t.Fatalf("%s identity != 1 on %q", f.Name(), a)
+			}
+		}
+	}
+}
+
+func TestThresholded(t *testing.T) {
+	f := Thresholded{Fn: JaccardQGrams{Q: 3}, Alpha: 0.8}
+	if got := f.Sim("Blaine", "Blain"); got != 0 {
+		t.Fatalf("0.75 below α=0.8 should be 0, got %v", got)
+	}
+	f.Alpha = 0.7
+	if got := f.Sim("Blaine", "Blain"); math.Abs(got-0.75) > tol {
+		t.Fatalf("0.75 above α=0.7 should pass, got %v", got)
+	}
+	if got := f.Sim("x", "x"); got != 1 {
+		t.Fatalf("identity through threshold = %v", got)
+	}
+}
+
+func TestLevenshteinSmallCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "abc", 3},
+		{"abc", "abc", 0}, {"abc", "abd", 1}, {"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+	}
+	for _, tc := range cases {
+		if got := levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("levenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinTriangleInequality(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 12 || len(b) > 12 || len(c) > 12 {
+			return true
+		}
+		return levenshtein(a, c) <= levenshtein(a, b)+levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if got := Cosine(a, b); got != 0 {
+		t.Fatalf("orthogonal = %v", got)
+	}
+	if got := Cosine(a, a); math.Abs(got-1) > tol {
+		t.Fatalf("parallel = %v", got)
+	}
+	if got := Cosine(a, []float32{-1, 0}); got != 0 {
+		t.Fatalf("negative cosine must clamp to 0, got %v", got)
+	}
+	if got := Cosine(a, []float32{0, 0}); got != 0 {
+		t.Fatalf("zero vector = %v", got)
+	}
+	if got := Cosine(a, []float32{1, 0, 0}); got != 0 {
+		t.Fatalf("dimension mismatch = %v", got)
+	}
+}
+
+func TestDotMatchesCosineOnUnitVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		d := 2 + rng.Intn(16)
+		a, b := make([]float32, d), make([]float32, d)
+		var na, nb float64
+		for i := 0; i < d; i++ {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+			na += float64(a[i]) * float64(a[i])
+			nb += float64(b[i]) * float64(b[i])
+		}
+		na, nb = math.Sqrt(na), math.Sqrt(nb)
+		for i := 0; i < d; i++ {
+			a[i] = float32(float64(a[i]) / na)
+			b[i] = float32(float64(b[i]) / nb)
+		}
+		if diff := math.Abs(Dot(a, b) - Cosine(a, b)); diff > 1e-5 {
+			t.Fatalf("Dot and Cosine disagree by %v on unit vectors", diff)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package textprep implements the set-extraction preprocessing of the
+// paper's evaluation (§VIII-A1):
+//
+//   - DBLP: "for each publication, we generate a set of white-spaced words
+//     from the paper title and abstract";
+//   - Twitter: "for each English tweet ... a set consisting of the distinct
+//     words in the tweet except the emojis and URLs";
+//   - OpenData/WDC: "the sets ... are formed by the distinct values in
+//     every column of every table";
+//   - all datasets: "we remove numerical values to avoid casual matches".
+//
+// The synthetic generators in internal/datagen produce sets directly; this
+// package is the path for users bringing their own raw text or tables.
+package textprep
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Options tune set extraction.
+type Options struct {
+	// Lowercase folds tokens to lower case before deduplication.
+	Lowercase bool
+	// KeepNumeric retains purely numerical tokens (the paper drops them).
+	KeepNumeric bool
+	// MinLength drops tokens shorter than this many runes. Default 1.
+	MinLength int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinLength <= 0 {
+		o.MinLength = 1
+	}
+	return o
+}
+
+// Document extracts the distinct-word set of free text (the DBLP rule:
+// white-space words of title+abstract, numerics removed). Punctuation is
+// trimmed from token edges so "search," and "search" collapse.
+func Document(text string, opts Options) []string {
+	opts = opts.withDefaults()
+	var out []string
+	seen := make(map[string]bool)
+	for _, raw := range strings.Fields(text) {
+		tok := normalize(raw, opts)
+		if tok == "" || seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		out = append(out, tok)
+	}
+	return out
+}
+
+// Tweet extracts the distinct-word set of a tweet: like Document, but URLs,
+// @mentions, and emoji-only tokens are dropped first (the Twitter rule).
+func Tweet(text string, opts Options) []string {
+	opts = opts.withDefaults()
+	var out []string
+	seen := make(map[string]bool)
+	for _, raw := range strings.Fields(text) {
+		if isURL(raw) || strings.HasPrefix(raw, "@") {
+			continue
+		}
+		tok := normalize(raw, opts)
+		if tok == "" || seen[tok] {
+			continue
+		}
+		if isEmojiOnly(tok) {
+			continue
+		}
+		seen[tok] = true
+		out = append(out, tok)
+	}
+	return out
+}
+
+// Column extracts the distinct-value set of a table column (the
+// OpenData/WDC rule): values are trimmed, empties and numerics dropped,
+// duplicates collapsed. Values are kept whole — a multi-word cell is one
+// set element.
+func Column(values []string, opts Options) []string {
+	opts = opts.withDefaults()
+	var out []string
+	seen := make(map[string]bool)
+	for _, v := range values {
+		tok := strings.TrimSpace(v)
+		if opts.Lowercase {
+			tok = strings.ToLower(tok)
+		}
+		if tok == "" || seen[tok] {
+			continue
+		}
+		if !opts.KeepNumeric && isNumeric(tok) {
+			continue
+		}
+		if len([]rune(tok)) < opts.MinLength {
+			continue
+		}
+		seen[tok] = true
+		out = append(out, tok)
+	}
+	return out
+}
+
+// Table applies Column to every column of a row-major table, returning one
+// set per column. Ragged rows are tolerated (short rows skip the missing
+// columns). header=true skips the first row.
+func Table(rows [][]string, header bool, opts Options) [][]string {
+	if header && len(rows) > 0 {
+		rows = rows[1:]
+	}
+	cols := 0
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	out := make([][]string, cols)
+	for c := 0; c < cols; c++ {
+		var vals []string
+		for _, r := range rows {
+			if c < len(r) {
+				vals = append(vals, r[c])
+			}
+		}
+		out[c] = Column(vals, opts)
+	}
+	return out
+}
+
+func normalize(raw string, opts Options) string {
+	tok := strings.TrimFunc(raw, func(r rune) bool {
+		return unicode.IsPunct(r) || unicode.IsSymbol(r)
+	})
+	if opts.Lowercase {
+		tok = strings.ToLower(tok)
+	}
+	if tok == "" {
+		return ""
+	}
+	if !opts.KeepNumeric && isNumeric(tok) {
+		return ""
+	}
+	if len([]rune(tok)) < opts.MinLength {
+		return ""
+	}
+	return tok
+}
+
+// isNumeric reports whether s is a numerical value: digits with optional
+// sign, decimal point, thousands separators, or percent suffix.
+func isNumeric(s string) bool {
+	s = strings.TrimSuffix(strings.TrimPrefix(strings.TrimPrefix(s, "-"), "+"), "%")
+	if s == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range s {
+		switch {
+		case unicode.IsDigit(r):
+			digits++
+		case r == '.' || r == ',':
+			// separators allowed
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+func isURL(s string) bool {
+	low := strings.ToLower(s)
+	return strings.HasPrefix(low, "http://") || strings.HasPrefix(low, "https://") ||
+		strings.HasPrefix(low, "www.")
+}
+
+// isEmojiOnly reports whether the token consists solely of symbols and
+// marks outside the letter/digit categories (emoji, dingbats, etc.).
+func isEmojiOnly(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return s != ""
+}

@@ -1,0 +1,145 @@
+package textprep
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDocumentBasics(t *testing.T) {
+	got := Document("Set Similarity Search: a survey, 2023 edition (v2)", Options{Lowercase: true})
+	want := []string{"set", "similarity", "search", "a", "survey", "edition", "v2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Document = %v, want %v", got, want)
+	}
+}
+
+func TestDocumentDistinct(t *testing.T) {
+	got := Document("the the THE", Options{Lowercase: true})
+	if len(got) != 1 || got[0] != "the" {
+		t.Fatalf("Document = %v", got)
+	}
+	// Without lowercase, case variants stay distinct.
+	got = Document("the THE", Options{})
+	if len(got) != 2 {
+		t.Fatalf("case-sensitive Document = %v", got)
+	}
+}
+
+func TestDocumentDropsNumerics(t *testing.T) {
+	got := Document("results improved 42 1,024 3.14 -7 99% but v8 stays", Options{})
+	for _, tok := range got {
+		switch tok {
+		case "42", "1,024", "3.14", "-7", "99%":
+			t.Fatalf("numeric %q kept", tok)
+		}
+	}
+	found := false
+	for _, tok := range got {
+		if tok == "v8" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("alphanumeric v8 wrongly dropped")
+	}
+	got = Document("42", Options{KeepNumeric: true})
+	if len(got) != 1 {
+		t.Fatal("KeepNumeric ignored")
+	}
+}
+
+func TestTweetRules(t *testing.T) {
+	got := Tweet("loving the new build 🚀🚀 https://example.com/x @dev check www.foo.bar it out!", Options{Lowercase: true})
+	want := []string{"loving", "the", "new", "build", "check", "it", "out"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tweet = %v, want %v", got, want)
+	}
+}
+
+func TestTweetEmojiOnlyTokens(t *testing.T) {
+	got := Tweet("🚀 ❤️ wow", Options{})
+	if len(got) != 1 || got[0] != "wow" {
+		t.Fatalf("Tweet = %v", got)
+	}
+}
+
+func TestColumnValuesStayWhole(t *testing.T) {
+	got := Column([]string{" New York ", "Los Angeles", "New York", "", "42"}, Options{})
+	want := []string{"New York", "Los Angeles"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Column = %v, want %v", got, want)
+	}
+}
+
+func TestColumnMinLength(t *testing.T) {
+	got := Column([]string{"a", "ab", "abc"}, Options{MinLength: 2})
+	if !reflect.DeepEqual(got, []string{"ab", "abc"}) {
+		t.Fatalf("Column = %v", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows := [][]string{
+		{"city", "state", "pop"},
+		{"Columbia", "SC", "137000"},
+		{"Charleston", "SC", "150000"},
+		{"Blaine", "WA"}, // ragged
+	}
+	cols := Table(rows, true, Options{})
+	if len(cols) != 3 {
+		t.Fatalf("Table produced %d columns", len(cols))
+	}
+	if !reflect.DeepEqual(cols[0], []string{"Columbia", "Charleston", "Blaine"}) {
+		t.Fatalf("col 0 = %v", cols[0])
+	}
+	if !reflect.DeepEqual(cols[1], []string{"SC", "WA"}) {
+		t.Fatalf("col 1 = %v (duplicates must collapse)", cols[1])
+	}
+	if len(cols[2]) != 0 {
+		t.Fatalf("numeric column not emptied: %v", cols[2])
+	}
+	// Header row included when header=false.
+	cols = Table(rows, false, Options{})
+	if cols[2][0] != "pop" {
+		t.Fatalf("header handling wrong: %v", cols[2])
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if got := Table(nil, true, Options{}); len(got) != 0 {
+		t.Fatalf("empty table = %v", got)
+	}
+	if got := Table([][]string{{"only-header"}}, true, Options{}); len(got) != 0 {
+		t.Fatalf("header-only table = %v", got)
+	}
+}
+
+func TestIsNumericEdgeCases(t *testing.T) {
+	numeric := []string{"0", "42", "-1", "+3", "3.14", "1,000", "99%", "1.000,5"}
+	for _, s := range numeric {
+		if !isNumeric(s) {
+			t.Errorf("isNumeric(%q) = false", s)
+		}
+	}
+	notNumeric := []string{"", "-", "+", "%", "v2", "3a", "a3", "..", "1.2.3x"}
+	for _, s := range notNumeric {
+		if isNumeric(s) {
+			t.Errorf("isNumeric(%q) = true", s)
+		}
+	}
+}
+
+func TestEndToEndWithEngineShape(t *testing.T) {
+	// The extracted sets must be valid engine inputs: distinct, non-empty.
+	doc := Document("Semantic overlap search finds related sets; overlap search scales.", Options{Lowercase: true})
+	seen := map[string]bool{}
+	for _, tok := range doc {
+		if seen[tok] {
+			t.Fatalf("duplicate %q", tok)
+		}
+		seen[tok] = true
+		if tok == "" {
+			t.Fatal("empty token")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package koios
+
+import (
+	"repro/internal/join"
+)
+
+// JoinPair is one element correspondence of a join mapping: a query element
+// matched to a set element with their similarity.
+type JoinPair struct {
+	QueryElement string
+	SetElement   string
+	Sim          float64
+}
+
+// SearchWorkload runs one top-k search per workload query, sharing the
+// engine's indexes and running up to parallelism queries concurrently
+// (default 4 when ≤ 0). Result lists are indexed like the workload — the
+// joinable-dataset-discovery task of the paper's introduction at workload
+// scale.
+func (e *Engine) SearchWorkload(workload [][]string, parallelism int) [][]Result {
+	d := join.NewDiscoveryWithEngine(e.repo, e.src, e.eng, join.Options{
+		Alpha:            e.alpha,
+		QueryParallelism: parallelism,
+	})
+	raw := d.Run(workload)
+	out := make([][]Result, len(raw))
+	for qi, matches := range raw {
+		out[qi] = make([]Result, len(matches))
+		for i, m := range matches {
+			out[qi][i] = Result{SetID: m.SetID, SetName: m.SetName, Score: m.Score, Verified: m.Verified}
+		}
+	}
+	return out
+}
+
+// JoinMapping computes the optimal one-to-one element mapping between a
+// query and a collection set — the value-level join that realizes the
+// semantic overlap, sorted by descending similarity. After discovering
+// joinable sets with Search, JoinMapping tells the caller *how* to join
+// them (the task SEMA-JOIN addresses post-discovery; §IX of the paper).
+func (e *Engine) JoinMapping(query []string, setID int) ([]JoinPair, error) {
+	d := join.NewDiscoveryWithEngine(e.repo, e.src, e.eng, join.Options{Alpha: e.alpha})
+	pairs, err := d.Mapping(query, setID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]JoinPair, len(pairs))
+	for i, p := range pairs {
+		out[i] = JoinPair{QueryElement: p.QueryElement, SetElement: p.SetElement, Sim: p.Sim}
+	}
+	return out, nil
+}

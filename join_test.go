@@ -1,0 +1,66 @@
+package koios
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSearchWorkload(t *testing.T) {
+	ds, err := GenerateDataset("twitter", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewWithVectors(ds.Collection, ds.Vectors, Config{K: 3, Alpha: 0.8, ExactScores: true})
+	var workload [][]string
+	for _, q := range ds.Queries[:4] {
+		workload = append(workload, q.Elements)
+	}
+	results := eng.SearchWorkload(workload, 2)
+	if len(results) != 4 {
+		t.Fatalf("got %d result lists", len(results))
+	}
+	for qi, rs := range results {
+		if len(rs) == 0 {
+			t.Fatalf("workload query %d found nothing", qi)
+		}
+		// Must agree with a standalone search.
+		direct, _ := eng.Search(workload[qi])
+		if len(direct) != len(rs) {
+			t.Fatalf("workload and direct search disagree in size for query %d", qi)
+		}
+		for i := range rs {
+			if math.Abs(rs[i].Score-direct[i].Score) > tol {
+				t.Fatalf("workload and direct scores differ at query %d rank %d", qi, i)
+			}
+		}
+	}
+}
+
+func TestJoinMappingFigure1(t *testing.T) {
+	eng := New(demoCollection(), newFigure1Sim(), Config{K: 2, Alpha: 0.7})
+	pairs, err := eng.JoinMapping(figure1Query, 1) // C2
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimal matching of Fig. 1: LA→LA, Blaine→Blain,
+	// BigApple→NewYorkCity, and the {Columbia, Charleston}→{SC, Southern}
+	// rematch that greedy misses.
+	got := map[string]string{}
+	sum := 0.0
+	for _, p := range pairs {
+		got[p.QueryElement] = p.SetElement
+		sum += p.Sim
+	}
+	if got["LA"] != "LA" || got["Blaine"] != "Blain" || got["BigApple"] != "NewYorkCity" {
+		t.Fatalf("mapping = %v", got)
+	}
+	if got["Columbia"] != "SC" || got["Charleston"] != "Southern" {
+		t.Fatalf("optimal rematch missing: %v", got)
+	}
+	if math.Abs(sum-4.49) > tol {
+		t.Fatalf("mapping weight = %v, want the semantic overlap 4.49", sum)
+	}
+	if _, err := eng.JoinMapping(figure1Query, 99); err == nil {
+		t.Fatal("out-of-range set accepted")
+	}
+}

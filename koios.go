@@ -1,0 +1,224 @@
+package koios
+
+import (
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/sets"
+	"repro/internal/sim"
+)
+
+// Set is a named set of string elements. Elements are de-duplicated on
+// engine construction.
+type Set struct {
+	Name     string
+	Elements []string
+}
+
+// Similarity scores two set elements. Implementations must be symmetric,
+// return 1 for identical strings, and values in [0,1] otherwise (Def. 1 of
+// the paper).
+type Similarity interface {
+	Sim(a, b string) float64
+	Name() string
+}
+
+// VectorFunc maps a token to its embedding vector; ok=false marks the token
+// as out of vocabulary. Identical out-of-vocabulary tokens still count as
+// exact matches during search.
+type VectorFunc func(token string) (vec []float32, ok bool)
+
+// Config tunes a search engine. The zero value means k=10, α=0.8, a single
+// partition and a single verification worker.
+type Config struct {
+	// K is the result size.
+	K int
+	// Alpha is the element similarity threshold α ∈ (0,1].
+	Alpha float64
+	// Partitions > 1 splits the repository into random partitions searched
+	// in parallel with a shared pruning threshold.
+	Partitions int
+	// Workers bounds concurrent verifications per partition.
+	Workers int
+	// ExactScores verifies every returned set so Result.Score is the exact
+	// semantic overlap (single-partition searches may otherwise return
+	// proven lower bounds for sets whose membership needed no matching).
+	ExactScores bool
+	// DisableIUB, DisableNoEM and DisableEarlyTerm switch off individual
+	// filters; searching stays exact but slower. They exist for ablation
+	// studies.
+	DisableIUB       bool
+	DisableNoEM      bool
+	DisableEarlyTerm bool
+}
+
+func (c Config) coreOptions() core.Options {
+	return core.Options{
+		K:                c.K,
+		Alpha:            c.Alpha,
+		Partitions:       c.Partitions,
+		Workers:          c.Workers,
+		ExactScores:      c.ExactScores,
+		DisableIUB:       c.DisableIUB,
+		DisableNoEM:      c.DisableNoEM,
+		DisableEarlyTerm: c.DisableEarlyTerm,
+	}
+}
+
+// Result is one entry of the top-k result, best first.
+type Result struct {
+	// SetID is the set's index in the collection passed to New.
+	SetID int
+	// SetName is the set's Name (or "set-<id>" when it was empty).
+	SetName string
+	// Score is the semantic overlap SO(Q,C) when Verified, and otherwise a
+	// lower bound that sufficed to prove top-k membership.
+	Score float64
+	// Verified reports whether Score is exact.
+	Verified bool
+}
+
+// Stats exposes the engine's filter, timing and memory accounting; see the
+// field documentation in the internal core package. It feeds the benchmark
+// tables of EXPERIMENTS.md.
+type Stats = core.Stats
+
+// Engine answers top-k semantic overlap queries over a fixed collection.
+// Engines are safe for concurrent use.
+type Engine struct {
+	repo  *sets.Repository
+	src   index.NeighborSource
+	eng   *core.Engine
+	alpha float64
+}
+
+// New builds an engine whose token index is a threshold scan under fn —
+// exact for any Similarity, at O(|vocabulary|) retrieval cost per query
+// element.
+func New(collection []Set, fn Similarity, cfg Config) *Engine {
+	repo := buildRepo(collection)
+	return newEngine(repo, index.NewFuncIndex(repo.Vocabulary(), fn), cfg)
+}
+
+// NewWithVectors builds an engine over embedding vectors with an exact
+// (brute-force, batched) cosine index — the stand-in for the paper's Faiss
+// index that keeps results exact.
+func NewWithVectors(collection []Set, vec VectorFunc, cfg Config) *Engine {
+	repo := buildRepo(collection)
+	return newEngine(repo, index.NewExact(repo.Vocabulary(), vec), cfg)
+}
+
+// NewWithSource builds an engine over a custom neighbor source created with
+// one of the Source constructors (SourceIVF, SourceMinHashLSH, SourceHNSW).
+// Approximate sources trade exactness of the search for retrieval speed.
+func NewWithSource(collection []Set, source Source, cfg Config) *Engine {
+	repo := buildRepo(collection)
+	return newEngine(repo, source.build(repo.Vocabulary()), cfg)
+}
+
+func newEngine(repo *sets.Repository, src index.NeighborSource, cfg Config) *Engine {
+	eng := core.NewEngine(repo, src, cfg.coreOptions())
+	return &Engine{repo: repo, src: src, eng: eng, alpha: eng.Options().Alpha}
+}
+
+// Search returns the top-k sets by semantic overlap with query, best first,
+// together with search statistics.
+func (e *Engine) Search(query []string) ([]Result, Stats) {
+	raw, stats := e.eng.Search(query)
+	out := make([]Result, len(raw))
+	for i, r := range raw {
+		out[i] = Result{
+			SetID:    r.SetID,
+			SetName:  e.repo.Set(r.SetID).Name,
+			Score:    r.Score,
+			Verified: r.Verified,
+		}
+	}
+	return out, stats
+}
+
+// Collection returns the engine's number of sets.
+func (e *Engine) Collection() int { return e.repo.Len() }
+
+// Vocabulary returns the number of distinct elements across the collection.
+func (e *Engine) Vocabulary() int { return len(e.repo.Vocabulary()) }
+
+// Source selects a similarity index implementation for NewWithSource.
+type Source struct {
+	build func(vocab []string) index.NeighborSource
+}
+
+// SourceIVF is an approximate inverted-file vector index in the style of
+// Faiss IVF: nlist k-means clusters, probing the nprobe nearest per query
+// element. Recall < 1: the search may miss candidates the exact index finds.
+func SourceIVF(vec VectorFunc, nlist, nprobe int) Source {
+	return Source{build: func(vocab []string) index.NeighborSource {
+		return index.NewIVF(vocab, vec, nlist, nprobe, 1)
+	}}
+}
+
+// SourceMinHashLSH retrieves Jaccard-of-q-gram neighbors through MinHash
+// banding LSH; candidates are verified exactly, so precision is 1 and
+// recall depends on bands×rows.
+func SourceMinHashLSH(q, bands, rows int) Source {
+	return Source{build: func(vocab []string) index.NeighborSource {
+		return index.NewMinHashLSH(vocab, q, bands, rows, 1)
+	}}
+}
+
+// SourceHNSW is an approximate graph-based vector index (hierarchical
+// navigable small world); efSearch widens retrieval for higher recall.
+// Zero values pick reasonable defaults (M=12, efConstruction=64,
+// efSearch=96).
+func SourceHNSW(vec VectorFunc, m, efConstruction, efSearch int) Source {
+	return Source{build: func(vocab []string) index.NeighborSource {
+		return index.NewHNSW(vocab, vec, index.HNSWConfig{
+			M:              m,
+			EfConstruction: efConstruction,
+			EfSearch:       efSearch,
+			Seed:           1,
+		})
+	}}
+}
+
+// Exact is the equality similarity; semantic overlap under Exact is the
+// vanilla set overlap.
+func Exact() Similarity { return sim.Exact{} }
+
+// JaccardQGrams compares elements by the Jaccard similarity of their
+// q-gram sets (q=3 reproduces the paper's fuzzy-search comparisons).
+func JaccardQGrams(q int) Similarity { return sim.JaccardQGrams{Q: q} }
+
+// JaccardWords compares elements by the Jaccard similarity of their
+// white-space-separated word sets.
+func JaccardWords() Similarity { return sim.JaccardWords{} }
+
+// EditSimilarity compares elements by normalized Levenshtein similarity.
+func EditSimilarity() Similarity { return sim.EditSimilarity{} }
+
+// CosineSimilarity adapts a VectorFunc into an element Similarity (cosine
+// of the two vectors; identical tokens are 1 even when out of vocabulary).
+func CosineSimilarity(vec VectorFunc) Similarity { return cosineSim{vec} }
+
+type cosineSim struct{ vec VectorFunc }
+
+func (c cosineSim) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	va, oka := c.vec(a)
+	vb, okb := c.vec(b)
+	if !oka || !okb {
+		return 0
+	}
+	return sim.Cosine(va, vb)
+}
+
+func (c cosineSim) Name() string { return "cosine" }
+
+func buildRepo(collection []Set) *sets.Repository {
+	raw := make([]sets.Set, len(collection))
+	for i, s := range collection {
+		raw[i] = sets.Set{Name: s.Name, Elements: s.Elements}
+	}
+	return sets.NewRepository(raw)
+}

@@ -1,0 +1,192 @@
+package koios
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestManyToOneFutureWorkExample(t *testing.T) {
+	// The paper's §X example: two query variants both map to the same
+	// candidate element with full similarity under many-to-one semantics.
+	fn := tableSim{m: map[[2]string]float64{}}
+	set := func(a, b string, s float64) { fn.m[[2]string{a, b}] = s; fn.m[[2]string{b, a}] = s }
+	set("United States of America", "USA", 0.95)
+	set("United States", "USA", 0.95)
+
+	q := []string{"United States of America", "United States"}
+	c := []string{"USA"}
+
+	one2one := SemanticOverlap(q, c, fn, 0.8)
+	many2one := ManyToOneOverlap(q, c, fn, 0.8)
+	if math.Abs(one2one-0.95) > tol {
+		t.Fatalf("one-to-one = %v, want 0.95 (only one variant may match)", one2one)
+	}
+	if math.Abs(many2one-1.90) > tol {
+		t.Fatalf("many-to-one = %v, want 1.90 (both variants match)", many2one)
+	}
+	m := ManyToOneMapping(q, c, fn, 0.8)
+	if m["United States"] != "USA" || m["United States of America"] != "USA" {
+		t.Fatalf("mapping = %v", m)
+	}
+}
+
+// TestManyToOneUpperBoundsOneToOne: dropping the one-to-one constraint can
+// only increase the score.
+func TestManyToOneUpperBoundsOneToOne(t *testing.T) {
+	fn := JaccardQGrams(3)
+	rng := rand.New(rand.NewSource(9))
+	words := []string{"alpha", "alphas", "alpine", "beta", "betas", "gamma", "gamut", "delta", "dental"}
+	randSet := func() []string {
+		n := 1 + rng.Intn(5)
+		out := make([]string, 0, n)
+		for len(out) < n {
+			out = append(out, words[rng.Intn(len(words))])
+		}
+		return out
+	}
+	for trial := 0; trial < 300; trial++ {
+		a, b := randSet(), randSet()
+		alpha := 0.2 + rng.Float64()*0.6
+		o := SemanticOverlap(a, b, fn, alpha)
+		m := ManyToOneOverlap(a, b, fn, alpha)
+		if m < o-tol {
+			t.Fatalf("many-to-one %v below one-to-one %v for a=%v b=%v α=%v", m, o, a, b, alpha)
+		}
+	}
+}
+
+func TestManyToOneAsymmetry(t *testing.T) {
+	fn := tableSim{m: map[[2]string]float64{}}
+	fn.m[[2]string{"a1", "b"}] = 0.9
+	fn.m[[2]string{"b", "a1"}] = 0.9
+	fn.m[[2]string{"a2", "b"}] = 0.9
+	fn.m[[2]string{"b", "a2"}] = 0.9
+	a := []string{"a1", "a2"}
+	b := []string{"b"}
+	ab := ManyToOneOverlap(a, b, fn, 0.5) // both a's map to b: 1.8
+	ba := ManyToOneOverlap(b, a, fn, 0.5) // b maps once: 0.9
+	if math.Abs(ab-1.8) > tol || math.Abs(ba-0.9) > tol {
+		t.Fatalf("MO(a,b)=%v MO(b,a)=%v, want 1.8 / 0.9", ab, ba)
+	}
+}
+
+func TestSearchManyToOneRanksDifferently(t *testing.T) {
+	// One candidate with a single hub element similar to every query
+	// element, another with one good one-to-one partner per query element.
+	fn := tableSim{m: map[[2]string]float64{}}
+	set := func(a, b string, s float64) { fn.m[[2]string{a, b}] = s; fn.m[[2]string{b, a}] = s }
+	query := []string{"q0", "q1", "q2"}
+	for _, q := range query {
+		set(q, "hub", 0.9)
+	}
+	set("q0", "p0", 0.8)
+	set("q1", "p1", 0.8)
+	set("q2", "p2", 0.8)
+	collection := []Set{
+		{Name: "hubset", Elements: []string{"hub"}},
+		{Name: "pairset", Elements: []string{"p0", "p1", "p2"}},
+	}
+	eng := New(collection, fn, Config{K: 2, Alpha: 0.7, ExactScores: true})
+
+	one2one, _ := eng.Search(query)
+	if one2one[0].SetName != "pairset" {
+		t.Fatalf("one-to-one top-1 = %s, want pairset", one2one[0].SetName)
+	}
+	many := eng.SearchManyToOne(query, fn, 0.7, 2)
+	if many[0].SetName != "hubset" {
+		t.Fatalf("many-to-one top-1 = %s, want hubset (2.7 > 2.4)", many[0].SetName)
+	}
+	if math.Abs(many[0].Score-2.7) > tol || math.Abs(many[1].Score-2.4) > tol {
+		t.Fatalf("many-to-one scores = %v", many)
+	}
+}
+
+func TestSearchManyToOneDegenerate(t *testing.T) {
+	eng := New(demoCollection(), newFigure1Sim(), Config{K: 3, Alpha: 0.7})
+	if got := eng.SearchManyToOne(nil, newFigure1Sim(), 0.7, 3); got != nil {
+		t.Fatalf("empty query returned %v", got)
+	}
+	if got := eng.SearchManyToOne([]string{"LA"}, newFigure1Sim(), 0.7, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}
+
+// tableSim is a symmetric pair-table similarity for tests.
+type tableSim struct{ m map[[2]string]float64 }
+
+func (f tableSim) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return f.m[[2]string{a, b}]
+}
+func (f tableSim) Name() string { return "table" }
+
+func TestCheckSimilarity(t *testing.T) {
+	sample := []string{"a", "b", "c"}
+	if msg := CheckSimilarity(JaccardQGrams(3), sample); msg != "" {
+		t.Fatalf("valid similarity flagged: %s", msg)
+	}
+	bad := badSim{}
+	if msg := CheckSimilarity(bad, sample); !strings.Contains(msg, "symmetry") {
+		t.Fatalf("asymmetric similarity not flagged: %q", msg)
+	}
+	if msg := CheckSimilarity(noIdentity{}, sample); !strings.Contains(msg, "identity") {
+		t.Fatalf("identity violation not flagged: %q", msg)
+	}
+	if msg := CheckSimilarity(outOfRange{}, sample); !strings.Contains(msg, "range") {
+		t.Fatalf("range violation not flagged: %q", msg)
+	}
+}
+
+// TestCheckSimilarityQuick: CheckSimilarity must accept every built-in
+// similarity on random samples (they all honor the Def. 1 contract).
+func TestCheckSimilarityQuick(t *testing.T) {
+	fns := []Similarity{Exact(), JaccardQGrams(2), JaccardWords(), EditSimilarity()}
+	f := func(a, b, c string) bool {
+		if len(a) > 20 || len(b) > 20 || len(c) > 20 {
+			return true
+		}
+		for _, fn := range fns {
+			if CheckSimilarity(fn, []string{a, b, c}) != "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type badSim struct{}
+
+func (badSim) Sim(a, b string) float64 {
+	switch {
+	case a == b:
+		return 1
+	case a < b:
+		return 0.5
+	default:
+		return 0.4
+	}
+}
+func (badSim) Name() string { return "bad" }
+
+type noIdentity struct{}
+
+func (noIdentity) Sim(a, b string) float64 { return 0.3 }
+func (noIdentity) Name() string            { return "no-identity" }
+
+type outOfRange struct{}
+
+func (outOfRange) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 1.7
+}
+func (outOfRange) Name() string { return "out-of-range" }
