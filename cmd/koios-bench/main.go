@@ -21,15 +21,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment name or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = documented benchmark scale)")
-		k       = flag.Int("k", 10, "result size k")
-		alpha   = flag.Float64("alpha", 0.8, "element similarity threshold α")
-		parts   = flag.Int("partitions", 10, "number of repository partitions")
-		workers = flag.Int("workers", 4, "verification workers per partition")
-		queries = flag.Int("queries", 0, "override queries per benchmark interval (0 = dataset default)")
-		timeout = flag.Duration("timeout", 120*time.Second, "per-query baseline timeout")
+		exp      = flag.String("exp", "all", "experiment name or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		perfJSON = flag.String("perf-json", "", "measure the single-query perf profile and write it to this file instead of running experiments")
+		perfName = flag.String("perf-label", "baseline", "label recorded in the -perf-json output")
+		scale    = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = documented benchmark scale)")
+		k        = flag.Int("k", 10, "result size k")
+		alpha    = flag.Float64("alpha", 0.8, "element similarity threshold α")
+		parts    = flag.Int("partitions", 10, "number of repository partitions")
+		workers  = flag.Int("workers", 4, "verification workers per partition")
+		queries  = flag.Int("queries", 0, "override queries per benchmark interval (0 = dataset default)")
+		timeout  = flag.Duration("timeout", 120*time.Second, "per-query baseline timeout")
 	)
 	flag.Parse()
 
@@ -49,6 +51,24 @@ func main() {
 		QueriesPerInterval: *queries,
 		Timeout:            *timeout,
 	}, os.Stdout)
+
+	if *perfJSON != "" {
+		f, err := os.Create(*perfJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		werr := r.WritePerfJSON(f, *perfName)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("perf baseline written to %s\n", *perfJSON)
+		return
+	}
 
 	start := time.Now()
 	if *exp == "all" {

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// PerfEntry is one dataset kind's measured single-query profile: wall time
+// and allocator traffic from testing.Benchmark plus the engine's own work
+// and footprint accounting for the same query.
+type PerfEntry struct {
+	Kind           string  `json:"kind"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	StreamTuples   int     `json:"stream_tuples"`
+	Candidates     int     `json:"candidates"`
+	IUBPrunedFrac  float64 `json:"iub_pruned_frac"`
+	FootprintBytes int64   `json:"query_footprint_bytes"`
+	IndexBytes     int64   `json:"inverted_index_bytes"`
+}
+
+// PerfBaseline is a recorded performance snapshot (e.g. BENCH_*.json at the
+// repository root) so successive PRs accumulate a perf trajectory that can
+// be diffed mechanically.
+type PerfBaseline struct {
+	Label      string      `json:"label"`
+	GoVersion  string      `json:"go_version"`
+	Scale      float64     `json:"scale"`
+	K          int         `json:"k"`
+	Alpha      float64     `json:"alpha"`
+	Partitions int         `json:"partitions"`
+	Workers    int         `json:"workers"`
+	Queries    []PerfEntry `json:"single_query"`
+}
+
+// Perf measures one end-to-end engine query per dataset kind — the
+// BenchmarkSearchSingleQuery protocol — under the runner's configuration.
+func (r *Runner) Perf(label string) PerfBaseline {
+	pb := PerfBaseline{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		Scale:      r.cfg.Scale,
+		K:          r.cfg.K,
+		Alpha:      r.cfg.Alpha,
+		Partitions: r.cfg.Partitions,
+		Workers:    r.cfg.Workers,
+	}
+	for _, kind := range datagen.Kinds() {
+		b := r.bundleFor(kind)
+		eng := r.engineFor(b, nil)
+		q := b.bench.Queries[0].Elements
+		res := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				eng.Search(q)
+			}
+		})
+		_, st := eng.Search(q)
+		frac := 0.0
+		if st.Candidates > 0 {
+			frac = float64(st.IUBPruned) / float64(st.Candidates)
+		}
+		pb.Queries = append(pb.Queries, PerfEntry{
+			Kind:           string(kind),
+			NsPerOp:        res.NsPerOp(),
+			BytesPerOp:     res.AllocedBytesPerOp(),
+			AllocsPerOp:    res.AllocsPerOp(),
+			StreamTuples:   st.StreamTuples,
+			Candidates:     st.Candidates,
+			IUBPrunedFrac:  frac,
+			FootprintBytes: st.TotalBytes(),
+			IndexBytes:     b.inv.FootprintBytes(),
+		})
+		r.printf("perf %-10s %12d ns/op %12d B/op %8d allocs/op\n",
+			kind, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	}
+	return pb
+}
+
+// WritePerfJSON runs Perf and writes the baseline as indented JSON.
+func (r *Runner) WritePerfJSON(w io.Writer, label string) error {
+	pb := r.Perf(label)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pb)
+}

@@ -28,10 +28,10 @@ func TestRefinementBoundsSound(t *testing.T) {
 		alpha := 0.55 + float64(seed%4)*0.1
 		eng := NewEngine(repo, src, Options{K: 3, Alpha: alpha, DisableIUB: true})
 
-		tuples, _, _ := eng.materializeStream(query)
+		tuples, _, _ := eng.materializeStream(query, repo.TokenIDs(query), eng.getScratch())
 		theta := &atomicMax{}
 		var stats Stats
-		survivors := eng.refinePartition(query, tuples, eng.invs[0], theta, &stats)
+		survivors := eng.refinePartition(len(query), tuples, 0, theta, &stats)
 
 		if len(survivors) != stats.Candidates {
 			t.Fatalf("seed %d: %d survivors, %d candidates (filters disabled)", seed, len(survivors), stats.Candidates)
@@ -72,10 +72,10 @@ func TestLemma6Counterexample(t *testing.T) {
 	eng := NewEngine(repo, src, Options{K: 1, Alpha: 0.5, DisableIUB: true})
 
 	query := []string{"q1", "q2"}
-	tuples, _, _ := eng.materializeStream(query)
+	tuples, _, _ := eng.materializeStream(query, repo.TokenIDs(query), eng.getScratch())
 	theta := &atomicMax{}
 	var stats Stats
-	survivors := eng.refinePartition(query, tuples, eng.invs[0], theta, &stats)
+	survivors := eng.refinePartition(len(query), tuples, 0, theta, &stats)
 
 	exact := exactSO(query, repo.Set(0), ps, 0.5) // 0.899 + 0.899
 	if exact < 1.797 || exact > 1.799 {
@@ -109,23 +109,36 @@ func TestStreamFirstFlags(t *testing.T) {
 	query = dedupStrings(query)
 	src := index.NewFuncIndex(repo.Vocabulary(), model)
 	eng := NewEngine(repo, src, Options{K: 3, Alpha: 0.6})
-	tuples, cache, _ := eng.materializeStream(query)
-	seen := map[string]bool{}
+	tuples, cache, _ := eng.materializeStream(query, repo.TokenIDs(query), eng.getScratch())
+	seen := map[int32]bool{}
+	inVocab := 0
 	for i, tup := range tuples {
-		if tup.first != !seen[tup.token] {
-			t.Fatalf("tuple %d: first=%v but seen=%v", i, tup.first, seen[tup.token])
+		if tup.tokenID >= 0 {
+			inVocab++
+			if tup.first != !seen[tup.tokenID] {
+				t.Fatalf("tuple %d: first=%v but seen=%v", i, tup.first, seen[tup.tokenID])
+			}
+			seen[tup.tokenID] = true
+		} else if !tup.first {
+			// An out-of-vocabulary query element streams exactly once (its
+			// identity tuple), so it is always a first arrival.
+			t.Fatalf("tuple %d: OOV identity tuple not marked first", i)
 		}
-		seen[tup.token] = true
 		if i > 0 && tup.sim > tuples[i-1].sim+1e-9 {
 			t.Fatal("materialized stream not descending")
 		}
 	}
-	// Cache completeness: one entry per tuple.
-	total := 0
-	for _, edges := range cache {
-		total += len(edges)
+	// Cache completeness: one entry per in-vocabulary tuple (tokens outside
+	// the repository vocabulary occur in no set, so verification matrices
+	// never look them up).
+	if total := len(cache.arena); total != inVocab {
+		t.Fatalf("cache has %d edges, stream had %d in-vocabulary tuples", total, inVocab)
 	}
-	if total != len(tuples) {
-		t.Fatalf("cache has %d edges, stream had %d tuples", total, len(tuples))
+	for tid := int32(0); tid < int32(repo.VocabSize()); tid++ {
+		for _, ed := range cache.edges(tid) {
+			if int(ed.qIdx) >= len(query) {
+				t.Fatalf("token %d: edge with out-of-range query index %d", tid, ed.qIdx)
+			}
+		}
 	}
 }

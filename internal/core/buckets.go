@@ -1,0 +1,107 @@
+package core
+
+// iubBuckets is the refinement-local realization of the paper's bucketized
+// iUB filter (§V), specialized to the dense candidate layout: candidates are
+// identified by their partition-local index, buckets are a flat slice
+// indexed by m (open matching slots) instead of a map, and each bucket is a
+// score-ascending min-heap stored in a plain slice. Like pqueue.Buckets it
+// uses lazy deletion — a move bumps the candidate's version and pushes a
+// fresh entry, stale entries are discarded when they surface at the top of
+// their heap — but the whole structure costs two slice allocations per
+// refinement call plus amortized heap growth, with no map operations.
+type iubBuckets struct {
+	heaps   [][]iubEntry // bucket per m; min-heap on score
+	version []uint32     // live version per local candidate
+}
+
+type iubEntry struct {
+	local   int32
+	version uint32
+	score   float64
+}
+
+// newIUBBuckets sizes the filter for candidates with at most maxM open
+// slots and nCand partition-local candidates.
+func newIUBBuckets(maxM, nCand int) *iubBuckets {
+	return &iubBuckets{
+		heaps:   make([][]iubEntry, maxM+1),
+		version: make([]uint32, nCand),
+	}
+}
+
+// insert adds a new candidate with m open slots and an initial score.
+func (b *iubBuckets) insert(local int32, m int, score float64) {
+	b.version[local]++
+	b.push(m, iubEntry{local: local, version: b.version[local], score: score})
+}
+
+// move relocates a live candidate to bucket m with an updated score. The
+// old entry becomes stale and is dropped lazily — mechanically the same
+// version-bump-and-push as insert.
+func (b *iubBuckets) move(local int32, m int, score float64) {
+	b.insert(local, m, score)
+}
+
+// prune scans every bucket and removes candidates whose upper bound
+// score + m·s falls strictly below theta, invoking onPrune for each.
+// Because entries are score-ordered, the scan of a bucket stops at the
+// first survivor. Stale entries encountered at a heap top are discarded
+// along the way.
+func (b *iubBuckets) prune(s, theta float64, onPrune func(local int32)) {
+	for m := range b.heaps {
+		h := b.heaps[m]
+		for len(h) > 0 {
+			top := h[0]
+			if top.version != b.version[top.local] {
+				h = popHeap(h) // stale
+				continue
+			}
+			if top.score+float64(m)*s >= theta {
+				break // survivors only from here on
+			}
+			h = popHeap(h)
+			b.version[top.local]++
+			onPrune(top.local)
+		}
+		b.heaps[m] = h
+	}
+}
+
+func (b *iubBuckets) push(m int, e iubEntry) {
+	h := append(b.heaps[m], e)
+	// Sift up.
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].score <= h[i].score {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	b.heaps[m] = h
+}
+
+func popHeap(h []iubEntry) []iubEntry {
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h[right].score < h[left].score {
+			least = right
+		}
+		if h[i].score <= h[least].score {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return h
+}

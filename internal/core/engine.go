@@ -15,23 +15,82 @@ import (
 // excludes index construction from query response time, §VIII-A3); Search
 // may then be called for any number of queries and is safe for concurrent
 // use by multiple goroutines.
+//
+// Everything downstream of NewEngine runs on interned int32 token IDs
+// (DESIGN.md §3): postings are CSR arenas, the per-query edge cache is a
+// slice indexed by token ID, and refinement state is a dense arena over each
+// partition's sets — the refinement inner loop performs no string hashing
+// and no map lookups.
 type Engine struct {
 	repo  *sets.Repository
 	src   index.NeighborSource
 	opts  Options
 	parts [][]int
 	invs  []*index.Inverted
+
+	vocabN int
+	// card is each set's distinct-element count, indexed by set ID.
+	card []int32
+	// localOf maps a set ID to its index within its (unique) partition, so
+	// refinement can address the dense candidate-state arena directly from a
+	// posting entry.
+	localOf []int32
+	// cOffs holds, per partition, the prefix word offsets of each
+	// candidate's matched-token bitset inside the partition's shared bit
+	// arena: candidate L owns words [cOffs[p][L], cOffs[p][L+1]).
+	cOffs [][]int32
+	// maxCard is the largest set cardinality per partition, which bounds
+	// the iUB bucket index space min(|Q|,|C|).
+	maxCard []int32
+	// scratch pools the vocabulary-sized per-query buffers (first-arrival
+	// bitset, edge-cache offsets) so per-query allocation scales with the
+	// stream, not with the vocabulary.
+	scratch sync.Pool
 }
 
-// NewEngine builds the partition layout and one inverted index per
-// partition.
+// queryScratch holds the vocabulary-sized buffers one Search needs.
+type queryScratch struct {
+	seen    []uint64
+	offsets []int32
+}
+
+func (e *Engine) getScratch() *queryScratch {
+	if s, ok := e.scratch.Get().(*queryScratch); ok {
+		clear(s.seen)
+		clear(s.offsets)
+		return s
+	}
+	return &queryScratch{
+		seen:    make([]uint64, (e.vocabN+63)/64),
+		offsets: make([]int32, e.vocabN),
+	}
+}
+
+// NewEngine builds the partition layout, one CSR inverted index per
+// partition, and the dense-state addressing tables.
 func NewEngine(repo *sets.Repository, src index.NeighborSource, opts Options) *Engine {
 	opts = opts.withDefaults()
-	e := &Engine{repo: repo, src: src, opts: opts}
+	e := &Engine{repo: repo, src: src, opts: opts, vocabN: repo.VocabSize()}
 	e.parts = repo.Partition(opts.Partitions, opts.PartitionSeed)
 	e.invs = make([]*index.Inverted, len(e.parts))
-	for i, p := range e.parts {
-		e.invs[i] = index.NewInvertedSubset(repo, p)
+	e.card = make([]int32, repo.Len())
+	for i := 0; i < repo.Len(); i++ {
+		e.card[i] = int32(len(repo.Set(i).Elements))
+	}
+	e.localOf = make([]int32, repo.Len())
+	e.cOffs = make([][]int32, len(e.parts))
+	e.maxCard = make([]int32, len(e.parts))
+	for p, part := range e.parts {
+		e.invs[p] = index.NewInvertedSubset(repo, part)
+		offs := make([]int32, len(part)+1)
+		for l, sid := range part {
+			e.localOf[sid] = int32(l)
+			offs[l+1] = offs[l] + (e.card[sid]+63)/64
+			if e.card[sid] > e.maxCard[p] {
+				e.maxCard[p] = e.card[sid]
+			}
+		}
+		e.cOffs[p] = offs
 	}
 	return e
 }
@@ -41,12 +100,13 @@ func (e *Engine) Options() Options { return e.opts }
 
 // streamTuple is one materialized token-stream tuple. first marks the
 // global first arrival of the token, i.e. the tuple carrying the token's
-// maximum similarity to any query element.
+// maximum similarity to any query element. tokenID is -1 for the identity
+// tuple of a query element occurring in no repository set.
 type streamTuple struct {
-	qIdx  int32
-	token string
-	sim   float64
-	first bool
+	tokenID int32
+	qIdx    int32
+	sim     float64
+	first   bool
 }
 
 // qEdge is a cached bipartite edge endpoint: query element index and
@@ -59,6 +119,25 @@ type qEdge struct {
 	sim  float64
 }
 
+// edgeCache is the per-query edge cache in CSR layout, indexed by interned
+// token ID: token t's edges occupy arena[offsets[t-1]:offsets[t]] (0-based
+// for t = 0). Built in two flat allocations from the materialized stream —
+// no per-token slices, no string keys.
+type edgeCache struct {
+	offsets []int32
+	arena   []qEdge
+}
+
+// edges returns the cached α-edges of a token ID. Every repository token ID
+// is a valid index (set elements define the vocabulary).
+func (c *edgeCache) edges(tid int32) []qEdge {
+	lo := int32(0)
+	if tid > 0 {
+		lo = c.offsets[tid-1]
+	}
+	return c.arena[lo:c.offsets[tid]]
+}
+
 // Search runs the top-k semantic overlap search for query and returns the
 // result sets in descending score order together with filter statistics.
 func (e *Engine) Search(query []string) ([]Result, Stats) {
@@ -67,9 +146,12 @@ func (e *Engine) Search(query []string) ([]Result, Stats) {
 	if len(query) == 0 {
 		return nil, stats
 	}
+	qids := e.repo.TokenIDs(query)
 
 	refineStart := time.Now()
-	tuples, cache, streamMem := e.materializeStream(query)
+	sc := e.getScratch()
+	defer e.scratch.Put(sc) // cache.offsets aliases sc; released when Search returns
+	tuples, cache, streamMem := e.materializeStream(query, qids, sc)
 	stats.StreamTuples = len(tuples)
 	stats.MemStreamBytes = streamMem
 
@@ -82,7 +164,7 @@ func (e *Engine) Search(query []string) ([]Result, Stats) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			partSurv[i] = e.refinePartition(query, tuples, e.invs[i], theta, &partStats[i])
+			partSurv[i] = e.refinePartition(len(query), tuples, i, theta, &partStats[i])
 		}(i)
 	}
 	wg.Wait()
@@ -107,7 +189,7 @@ func (e *Engine) Search(query []string) ([]Result, Stats) {
 		llb.Update(sv.setID, sv.lb)
 	}
 	theta.Update(llb.Bottom())
-	results := e.postproc(query, cache, survivors, llb, theta, &stats)
+	results := e.postproc(len(query), cache, survivors, llb, theta, &stats)
 
 	if e.opts.ExactScores {
 		for i, r := range results {
@@ -117,7 +199,7 @@ func (e *Engine) Search(query []string) ([]Result, Stats) {
 			// A result set is a proven top-k member, so its score is at
 			// least θlb ≤ θ*k and the bounded verification can never
 			// terminate early (the label sum never drops below the score).
-			res := e.verify(query, cache, e.repo.Set(r.SetID), theta)
+			res := e.verify(len(query), cache, e.repo.Set(r.SetID), theta)
 			stats.HungarianIterations += res.Iterations
 			stats.FinalizeEM++
 			results[i].Score = res.Score
@@ -135,24 +217,61 @@ func (e *Engine) Search(query []string) ([]Result, Stats) {
 }
 
 // materializeStream drains the token stream once, recording first-arrival
-// flags and building the similarity edge cache shared by all partitions.
-func (e *Engine) materializeStream(query []string) ([]streamTuple, map[string][]qEdge, int64) {
-	st := index.NewStream(query, e.src, e.opts.Alpha)
-	var tuples []streamTuple
-	seen := make(map[string]bool)
-	cache := make(map[string][]qEdge)
-	var mem int64
+// flags, then builds the similarity edge cache shared by all partitions in
+// CSR form with a counting pass over the materialized tuples. The tuple
+// slice is preallocated from the stream's known size bound (retrieved
+// α-neighbors plus one identity tuple per query element), first arrivals
+// are tracked with a token-ID bitset, and the vocabulary-sized buffers come
+// zeroed from the engine's scratch pool, so materialization performs no map
+// operations and a constant number of stream-sized allocations. The
+// returned cache aliases sc.offsets; the caller owns sc until it is done
+// with the cache.
+func (e *Engine) materializeStream(query []string, qids []int32, sc *queryScratch) ([]streamTuple, *edgeCache, int64) {
+	st := index.NewStreamInterned(query, qids, e.src, e.opts.Alpha)
+	tuples := make([]streamTuple, 0, st.Retrieved()+len(query))
+	seen := sc.seen
+	offsets := sc.offsets
 	for {
 		tup, ok := st.Next()
 		if !ok {
 			break
 		}
-		first := !seen[tup.Token]
-		seen[tup.Token] = true
-		tuples = append(tuples, streamTuple{qIdx: int32(tup.QIdx), token: tup.Token, sim: tup.Sim, first: first})
-		cache[tup.Token] = append(cache[tup.Token], qEdge{qIdx: int32(tup.QIdx), sim: tup.Sim})
-		mem += int64(len(tup.Token)) + 16 + 32 + 16 // tuple + cache entry estimate
+		id := tup.TokenID
+		if int(id) >= e.vocabN {
+			// A source built over a superset of the repository vocabulary
+			// (e.g. a shared discovery source) annotates IDs past the
+			// dictionary; such tokens occur in no set, so they are
+			// out-of-vocabulary here.
+			id = -1
+		}
+		first := true
+		if id >= 0 {
+			w, bit := id>>6, uint64(1)<<(uint(id)&63)
+			first = seen[w]&bit == 0
+			seen[w] |= bit
+			offsets[id]++
+		}
+		tuples = append(tuples, streamTuple{tokenID: id, qIdx: int32(tup.QIdx), sim: tup.Sim, first: first})
 	}
+	// Prefix-sum the counts into fill cursors, fill the arena, and let the
+	// cursors land on the end offsets the accessor expects.
+	total := int32(0)
+	for t, n := range offsets {
+		offsets[t] = total
+		total += n
+	}
+	arena := make([]qEdge, total)
+	for i := range tuples {
+		tup := &tuples[i]
+		if tup.tokenID < 0 {
+			continue
+		}
+		at := offsets[tup.tokenID]
+		arena[at] = qEdge{qIdx: tup.qIdx, sim: tup.sim}
+		offsets[tup.tokenID] = at + 1
+	}
+	cache := &edgeCache{offsets: offsets, arena: arena}
+	mem := int64(cap(tuples))*24 + int64(len(arena))*16 + int64(len(offsets))*4 + int64(len(seen))*8
 	return tuples, cache, mem
 }
 

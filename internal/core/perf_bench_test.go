@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/index"
+)
+
+// The allocation-focused stage microbenchmarks behind the token-interning
+// refactor: one per hot stage of Search, per dataset kind. The neighbor
+// source is prewarmed through index.Cached so retrieval cost (which the
+// paper excludes from its response-time protocol) does not drown the stage
+// under measurement. Recorded baselines live in BENCH_tokenintern.json.
+
+type perfFixture struct {
+	eng    *Engine
+	query  []string
+	qids   []int32
+	tuples []streamTuple
+}
+
+func newPerfFixture(b *testing.B, kind datagen.Kind) *perfFixture {
+	b.Helper()
+	ds := datagen.GenerateDefault(kind, 0.05)
+	cached := index.NewCached(index.NewExact(ds.Repo.Vocabulary(), ds.Model.Vector))
+	eng := NewEngine(ds.Repo, cached, Options{K: 10, Alpha: 0.8})
+	query := dedupStrings(datagen.NewBenchmark(ds, 1).Queries[0].Elements)
+	cached.Prewarm([][]string{query}, eng.Options().Alpha)
+	f := &perfFixture{eng: eng, query: query, qids: ds.Repo.TokenIDs(query)}
+	f.tuples, _, _ = eng.materializeStream(query, f.qids, eng.getScratch())
+	return f
+}
+
+func BenchmarkMaterializeStream(b *testing.B) {
+	for _, kind := range datagen.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			f := newPerfFixture(b, kind)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc := f.eng.getScratch()
+				f.eng.materializeStream(f.query, f.qids, sc)
+				f.eng.scratch.Put(sc)
+			}
+		})
+	}
+}
+
+func BenchmarkRefinePartition(b *testing.B) {
+	for _, kind := range datagen.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			f := newPerfFixture(b, kind)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				theta := &atomicMax{}
+				var stats Stats
+				f.eng.refinePartition(len(f.query), f.tuples, 0, theta, &stats)
+			}
+		})
+	}
+}

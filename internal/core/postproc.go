@@ -33,7 +33,7 @@ func ubMore(a, b ubEntry) bool {
 // any score stored in Lub. Lub.Bottom() therefore equals the k-th largest
 // upper bound over all alive sets, which is what Lemma 7's No-EM test
 // requires.
-func (e *Engine) postproc(query []string, cache map[string][]qEdge, survivors []survivor, llb *pqueue.TopK, theta *atomicMax, stats *Stats) []Result {
+func (e *Engine) postproc(qN int, cache *edgeCache, survivors []survivor, llb *pqueue.TopK, theta *atomicMax, stats *Stats) []Result {
 	opts := e.opts
 	k := opts.K
 	ub := make(map[int]float64, len(survivors))
@@ -140,7 +140,7 @@ func (e *Engine) postproc(query []string, cache map[string][]qEdge, survivors []
 		}
 		if len(pending) == 1 {
 			sid := pending[0]
-			apply(sid, e.verify(query, cache, e.repo.Set(sid), theta))
+			apply(sid, e.verify(qN, cache, e.repo.Set(sid), theta))
 			continue
 		}
 		// Parallel verification with a shared, live θlb: results are applied
@@ -156,7 +156,7 @@ func (e *Engine) postproc(query []string, cache map[string][]qEdge, survivors []
 			wg.Add(1)
 			go func(sid int) {
 				defer wg.Done()
-				ch <- vres{sid: sid, res: e.verify(query, cache, e.repo.Set(sid), theta)}
+				ch <- vres{sid: sid, res: e.verify(qN, cache, e.repo.Set(sid), theta)}
 			}(sid)
 		}
 		go func() { wg.Wait(); close(ch) }()

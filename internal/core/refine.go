@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/index"
 	"repro/internal/pqueue"
 )
 
@@ -15,7 +14,10 @@ const pruneEps = 1e-9
 
 // candState is the per-candidate refinement state: the incremental greedy
 // lower bound (iLB, Lemma 5) and the corrected incremental upper bound
-// (DESIGN.md §2).
+// (DESIGN.md §2). States live in one dense slice per partition, indexed by
+// the candidate's partition-local position; the greedy matching masks
+// (query elements and candidate-local token positions) live in a shared bit
+// arena, so a whole partition's refinement state costs two allocations.
 type candState struct {
 	// ubSum is the sum of the first-seen (= maximum) similarities of the
 	// candidate's distinct streamed tokens, capped at min(|Q|,|C|) terms.
@@ -27,12 +29,11 @@ type candState struct {
 	// mRem is the number of matching slots not yet covered by ubSum terms;
 	// iUB(C) = ubSum + mRem·s.
 	mRem int32
+	// seen marks the state as initialized (the set has appeared in at least
+	// one posting list).
+	seen bool
 	// pruned marks the candidate as eliminated; later tuples skip it.
 	pruned bool
-	// qMask records greedily matched query elements (one bit per element).
-	qMask []uint64
-	// cMatched records greedily matched candidate tokens.
-	cMatched map[string]struct{}
 }
 
 // survivor is a candidate that reached post-processing with its final
@@ -42,36 +43,59 @@ type survivor struct {
 	lb, ub float64
 }
 
-// refinePartition runs Algorithm 1 over one partition's inverted index.
+// refinePartition runs Algorithm 1 over partition p's CSR inverted index.
 // All partitions consume the same materialized tuple slice and share the
 // global θlb through theta.
-func (e *Engine) refinePartition(query []string, tuples []streamTuple, inv *index.Inverted, theta *atomicMax, stats *Stats) []survivor {
+//
+// The per-tuple/per-posting inner loop is free of map lookups and string
+// comparisons: postings are flat int32 arenas, candidate state is a dense
+// slice addressed through localOf, matched query elements are one bit per
+// element in the qBits arena, and matched candidate tokens are one bit per
+// candidate-local element position (carried by the posting entry) in the
+// cBits arena.
+func (e *Engine) refinePartition(qN int, tuples []streamTuple, p int, theta *atomicMax, stats *Stats) []survivor {
 	opts := e.opts
-	state := make(map[int32]*candState)
-	buckets := pqueue.NewBuckets()
+	part := e.parts[p]
+	inv := e.invs[p]
+	cOff := e.cOffs[p]
+	qWords := (qN + 63) / 64
+
+	states := make([]candState, len(part))
+	// One bit arena for both greedy matching masks: candidate L's query mask
+	// occupies words [L·qWords, (L+1)·qWords) of qBits and its token mask
+	// words [cOff[L], cOff[L+1]) of cBits.
+	bits := make([]uint64, len(part)*qWords+int(cOff[len(part)]))
+	qBits := bits[:len(part)*qWords]
+	cBits := bits[len(part)*qWords:]
+
+	maxM := qN
+	if mc := int(e.maxCard[p]); mc < maxM {
+		maxM = mc
+	}
+	buckets := newIUBBuckets(maxM, len(part))
 	llb := pqueue.NewTopK(opts.K)
-	qWords := (len(query) + 63) / 64
 	lastPruneTheta := 0.0
 
-	markPruned := func(key int, _ float64, _ int) {
-		state[int32(key)].pruned = true
+	markPruned := func(local int32) {
+		states[local].pruned = true
 		stats.IUBPruned++
 	}
 
-	for ti, tup := range tuples {
+	for ti := range tuples {
+		tup := &tuples[ti]
 		s := tup.sim
-		for _, sid := range inv.Sets(tup.token) {
-			st := state[sid]
-			if st == nil {
+		sids, poss := inv.Postings(tup.tokenID)
+		for pi, sid := range sids {
+			local := e.localOf[sid]
+			st := &states[local]
+			if !st.seen {
+				st.seen = true
 				stats.Candidates++
-				c := e.repo.Set(int(sid))
-				slots := min(len(query), len(c.Elements))
-				st = &candState{
-					mRem:     int32(slots),
-					qMask:    make([]uint64, qWords),
-					cMatched: make(map[string]struct{}, 4),
+				slots := int32(qN)
+				if c := e.card[sid]; c < slots {
+					slots = c
 				}
-				state[sid] = st
+				st.mRem = slots
 				// UB-Filter at first sight (Lemma 2): the first tuple for a
 				// set carries its maximum element similarity, so
 				// UB(C) = min(|Q|,|C|)·s.
@@ -81,7 +105,7 @@ func (e *Engine) refinePartition(query []string, tuples []streamTuple, inv *inde
 						stats.IUBPruned++
 						continue
 					}
-					buckets.Insert(int(sid), slots, 0)
+					buckets.insert(local, int(slots), 0)
 				}
 			}
 			if st.pruned {
@@ -94,16 +118,19 @@ func (e *Engine) refinePartition(query []string, tuples []streamTuple, inv *inde
 				st.ubSum += s
 				st.mRem--
 				if !opts.DisableIUB {
-					buckets.Move(int(sid), int(st.mRem), st.ubSum)
+					buckets.move(local, int(st.mRem), st.ubSum)
 				}
 			}
 			// Incremental greedy lower bound (iLB): take the edge iff both
 			// endpoints are unmatched (Lemma 5).
-			w, bit := tup.qIdx/64, uint64(1)<<(tup.qIdx%64)
-			if st.qMask[w]&bit == 0 {
-				if _, used := st.cMatched[tup.token]; !used {
-					st.qMask[w] |= bit
-					st.cMatched[tup.token] = struct{}{}
+			qw := int(local)*qWords + int(tup.qIdx)>>6
+			qbit := uint64(1) << (uint(tup.qIdx) & 63)
+			if qBits[qw]&qbit == 0 {
+				cw := int(cOff[local]) + int(poss[pi])>>6
+				cbit := uint64(1) << (uint(poss[pi]) & 63)
+				if cBits[cw]&cbit == 0 {
+					qBits[qw] |= qbit
+					cBits[cw] |= cbit
 					st.lbScore += s
 					if llb.Update(int(sid), st.lbScore) {
 						theta.Update(llb.Bottom())
@@ -118,7 +145,7 @@ func (e *Engine) refinePartition(query []string, tuples []streamTuple, inv *inde
 			t := theta.Load()
 			if t > lastPruneTheta || ti%opts.PruneEvery == opts.PruneEvery-1 {
 				lastPruneTheta = t
-				buckets.Prune(s, t-pruneEps, markPruned)
+				buckets.prune(s, t-pruneEps, markPruned)
 			}
 		}
 	}
@@ -128,18 +155,17 @@ func (e *Engine) refinePartition(query []string, tuples []streamTuple, inv *inde
 	// tightens to ubSum.
 	finalTheta := theta.Load()
 	var out []survivor
-	var candMem int64
-	for sid, st := range state {
-		candMem += 64 + int64(qWords)*8 + int64(len(st.cMatched))*48
-		if st.pruned {
+	for local := range states {
+		st := &states[local]
+		if !st.seen || st.pruned {
 			continue
 		}
 		if !opts.DisableIUB && finalTheta > 0 && st.ubSum < finalTheta-pruneEps {
 			stats.IUBPruned++
 			continue
 		}
-		out = append(out, survivor{setID: int(sid), lb: st.lbScore, ub: st.ubSum})
+		out = append(out, survivor{setID: part[local], lb: st.lbScore, ub: st.ubSum})
 	}
-	stats.MemCandBytes += candMem
+	stats.MemCandBytes += int64(len(states))*24 + int64(len(bits))*8
 	return out
 }

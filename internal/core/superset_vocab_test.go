@@ -1,0 +1,20 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/sets"
+)
+
+func TestSupersetVocabSourceDoesNotPanic(t *testing.T) {
+	repo := sets.NewRepository([]sets.Set{{Elements: []string{"aa", "bb"}}})
+	ps := newPairSim()
+	ps.set("qq", "ext", 0.9)
+	src := index.NewFuncIndex(append(append([]string{}, repo.Vocabulary()...), "ext"), ps)
+	eng := NewEngine(repo, src, Options{K: 2, Alpha: 0.8})
+	results, _ := eng.Search([]string{"qq", "aa"})
+	if len(results) != 1 || results[0].Score != 1 {
+		t.Fatalf("results = %+v, want set 0 at score 1", results)
+	}
+}

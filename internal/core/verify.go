@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/matching"
 	"repro/internal/sets"
 )
@@ -18,52 +16,58 @@ import (
 // at least one α-edge; all other elements can only contribute zero-weight
 // pairs, which the optional matching never needs. This keeps the O(n³)
 // matching at the size of the connected subgraph rather than the full sets.
-func (e *Engine) verify(query []string, cache map[string][]qEdge, c sets.Set, theta *atomicMax) matching.Result {
-	rowOf := make(map[int32]int)
-	var rows []int32
-	type colEdges struct {
-		token string
-		edges []qEdge
-	}
-	var cols []colEdges
-	for _, tok := range c.Elements {
-		edges := cache[tok]
+// Edges are fetched by interned token ID straight from the ID-indexed cache
+// (c.ElemIDs is always in-vocabulary: repository sets define the
+// vocabulary), and rows are numbered in ascending query-element order via a
+// dense qN-sized table — no maps, no sorting.
+func (e *Engine) verify(qN int, cache *edgeCache, c sets.Set, theta *atomicMax) matching.Result {
+	cols := make([][]qEdge, 0, len(c.ElemIDs))
+	rowOf := make([]int32, qN) // qIdx -> row+1; 0 = absent
+	rows := 0
+	for _, tid := range c.ElemIDs {
+		edges := cache.edges(tid)
 		if len(edges) == 0 {
 			continue
 		}
-		cols = append(cols, colEdges{token: tok, edges: edges})
+		cols = append(cols, edges)
 		for _, ed := range edges {
-			if _, ok := rowOf[ed.qIdx]; !ok {
-				rowOf[ed.qIdx] = 0 // position assigned after sorting
-				rows = append(rows, ed.qIdx)
+			if rowOf[ed.qIdx] == 0 {
+				rowOf[ed.qIdx] = 1
+				rows++
 			}
 		}
 	}
 	if len(cols) == 0 {
 		return matching.Result{}
 	}
-	// Deterministic row order regardless of element order.
-	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
-	for i, q := range rows {
-		rowOf[q] = i
+	// Deterministic row order: ascending query element index.
+	r := int32(0)
+	for qi := range rowOf {
+		if rowOf[qi] != 0 {
+			r++
+			rowOf[qi] = r
+		}
 	}
 	if e.opts.Verifier == VerifierSSP {
-		adj := make([][]matching.SparseEdge, len(rows))
-		for j, ce := range cols {
-			for _, ed := range ce.edges {
-				r := rowOf[ed.qIdx]
+		adj := make([][]matching.SparseEdge, rows)
+		for j, edges := range cols {
+			for _, ed := range edges {
+				r := rowOf[ed.qIdx] - 1
 				adj[r] = append(adj[r], matching.SparseEdge{Col: j, W: ed.sim})
 			}
 		}
 		return matching.SparseMatch(adj, len(cols))
 	}
-	w := make([][]float64, len(rows))
+	// One flat backing array for the similarity matrix: rows+1 allocations
+	// become two.
+	flat := make([]float64, rows*len(cols))
+	w := make([][]float64, rows)
 	for i := range w {
-		w[i] = make([]float64, len(cols))
+		w[i] = flat[i*len(cols) : (i+1)*len(cols)]
 	}
-	for j, ce := range cols {
-		for _, ed := range ce.edges {
-			w[rowOf[ed.qIdx]][j] = ed.sim
+	for j, edges := range cols {
+		for _, ed := range edges {
+			w[rowOf[ed.qIdx]-1][j] = ed.sim
 		}
 	}
 	var bound func() float64

@@ -16,6 +16,7 @@ import (
 // top of it trades exactness for sub-linear retrieval.
 type HNSW struct {
 	tokens  []string
+	ids     []int32 // vocab position of each indexed token
 	vecs    [][]float32
 	byToken map[string]int
 
@@ -65,7 +66,7 @@ func NewHNSW(vocab []string, vec func(string) ([]float32, bool), cfg HNSWConfig)
 		maxLevel: -1,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
-	for _, tok := range vocab {
+	for vi, tok := range vocab {
 		v, ok := vec(tok)
 		if !ok {
 			continue
@@ -75,6 +76,7 @@ func NewHNSW(vocab []string, vec func(string) ([]float32, bool), cfg HNSWConfig)
 		}
 		h.byToken[tok] = len(h.tokens)
 		h.tokens = append(h.tokens, tok)
+		h.ids = append(h.ids, int32(vi))
 		h.vecs = append(h.vecs, normalizeCopy(v))
 	}
 	for id := range h.vecs {
@@ -243,7 +245,7 @@ func (h *HNSW) Neighbors(q string, alpha float64) []Neighbor {
 	var out []Neighbor
 	for _, f := range found {
 		if f.s >= alpha && f.id != qi {
-			out = append(out, Neighbor{Token: h.tokens[f.id], Sim: f.s})
+			out = append(out, Neighbor{Token: h.tokens[f.id], Sim: f.s, ID: h.ids[f.id]})
 		}
 	}
 	sortNeighbors(out)

@@ -68,7 +68,7 @@ func TestExactNeighborsMatchBruteForce(t *testing.T) {
 				continue
 			}
 			if s := m.Sim(q, tok); s >= alpha {
-				want = append(want, Neighbor{tok, s})
+				want = append(want, Neighbor{Token: tok, Sim: s})
 			}
 		}
 		if len(got) != len(want) {
@@ -336,5 +336,57 @@ func TestStreamEmptyQuery(t *testing.T) {
 	st := NewStream(nil, ex, 0.8)
 	if _, ok := st.Next(); ok {
 		t.Fatal("empty query produced a tuple")
+	}
+}
+
+func TestInvertedPostingsPositions(t *testing.T) {
+	r := repo()
+	inv := NewInverted(r)
+	// Every posting entry must carry the token's position inside its set's
+	// element slice, and the CSR view must agree with the string view.
+	for tid := int32(0); tid < int32(r.VocabSize()); tid++ {
+		sids, poss := inv.Postings(tid)
+		if len(sids) != len(poss) {
+			t.Fatalf("token %d: %d sids, %d positions", tid, len(sids), len(poss))
+		}
+		tok := r.Token(tid)
+		for i, sid := range sids {
+			s := r.Set(int(sid))
+			if s.Elements[poss[i]] != tok {
+				t.Fatalf("token %q posting %d: set %d position %d holds %q",
+					tok, i, sid, poss[i], s.Elements[poss[i]])
+			}
+		}
+		str := inv.Sets(tok)
+		if len(str) != len(sids) {
+			t.Fatalf("token %q: Sets returned %v, Postings %v", tok, str, sids)
+		}
+	}
+	// Out-of-range IDs (the -1 of an OOV query element) yield nil.
+	if sids, poss := inv.Postings(-1); sids != nil || poss != nil {
+		t.Fatalf("Postings(-1) = %v, %v", sids, poss)
+	}
+	if sids, _ := inv.Postings(int32(r.VocabSize())); sids != nil {
+		t.Fatal("Postings past vocabulary not nil")
+	}
+}
+
+func TestNeighborIDsMatchVocabPositions(t *testing.T) {
+	m := testModel()
+	vocab := m.Tokens()
+	for name, src := range map[string]NeighborSource{
+		"exact": NewExact(vocab, m.Vector),
+		"ivf":   NewIVF(vocab, m.Vector, 8, 8, 1),
+		"func":  NewFuncIndex(vocab, m),
+		"hnsw":  NewHNSW(vocab, m.Vector, HNSWConfig{Seed: 1}),
+	} {
+		for _, q := range vocab[:10] {
+			for _, n := range src.Neighbors(q, 0.7) {
+				if n.ID < 0 || int(n.ID) >= len(vocab) || vocab[n.ID] != n.Token {
+					t.Fatalf("%s: neighbor %q has ID %d (vocab[%d] = %q)",
+						name, n.Token, n.ID, n.ID, vocab[n.ID])
+				}
+			}
+		}
 	}
 }

@@ -2,7 +2,7 @@
 // phase (§IV) and the similarity indexes that feed them:
 //
 //   - Inverted: the inverted index Is mapping each vocabulary token to the
-//     sets that contain it;
+//     sets that contain it, stored in CSR layout over interned token IDs;
 //   - Stream: the token stream Ie, a merged, globally descending stream of
 //     (query element, token, similarity) tuples realized with one
 //     NeighborSource per similarity function and a priority queue of size
@@ -18,10 +18,19 @@ import (
 	"repro/internal/sets"
 )
 
-// Inverted is the inverted index Is: token → IDs of sets containing it.
+// Inverted is the inverted index Is in CSR (compressed sparse row) layout:
+// one flat postings arena indexed through per-token offsets, addressed by
+// the repository's dense int32 token IDs instead of a string-keyed map. The
+// arena stores, for every (token, set) pair, the global set ID and the
+// token's position inside the set's element slice — the position is what
+// lets refinement track greedily matched candidate tokens as a bitset over
+// candidate-local positions (DESIGN.md §3).
 type Inverted struct {
-	postings map[string][]int32
-	entries  int
+	repo    *sets.Repository
+	offsets []int32 // len = vocab+1; postings of token t live in [offsets[t], offsets[t+1])
+	sids    []int32 // arena: global set IDs
+	poss    []int32 // arena: element position of the token inside the set
+	tokens  int     // distinct tokens with a non-empty posting list
 }
 
 // NewInverted builds the inverted index over all sets of the repository.
@@ -31,47 +40,90 @@ func NewInverted(r *sets.Repository) *Inverted {
 
 // NewInvertedSubset builds the inverted index over the given set IDs only
 // (used by the partitioned driver, §VI). A nil ids slice means all sets.
+// Construction is two-pass: count postings per token, prefix-sum into the
+// offset table, then fill the arena — no per-token allocations.
 func NewInvertedSubset(r *sets.Repository, ids []int) *Inverted {
-	inv := &Inverted{postings: make(map[string][]int32)}
-	add := func(s sets.Set) {
-		for _, e := range s.Elements {
-			inv.postings[e] = append(inv.postings[e], int32(s.ID))
-			inv.entries++
+	vocab := r.VocabSize()
+	inv := &Inverted{repo: r, offsets: make([]int32, vocab+1)}
+	count := func(s sets.Set) {
+		for _, id := range s.ElemIDs {
+			inv.offsets[id+1]++
 		}
 	}
 	if ids == nil {
 		for _, s := range r.Sets() {
-			add(s)
+			count(s)
 		}
 	} else {
 		for _, id := range ids {
-			add(r.Set(id))
+			count(r.Set(id))
+		}
+	}
+	for t := 0; t < vocab; t++ {
+		if inv.offsets[t+1] > 0 {
+			inv.tokens++
+		}
+		inv.offsets[t+1] += inv.offsets[t]
+	}
+	total := inv.offsets[vocab]
+	inv.sids = make([]int32, total)
+	inv.poss = make([]int32, total)
+	next := make([]int32, vocab)
+	copy(next, inv.offsets[:vocab])
+	fill := func(s sets.Set) {
+		for pos, id := range s.ElemIDs {
+			at := next[id]
+			inv.sids[at] = int32(s.ID)
+			inv.poss[at] = int32(pos)
+			next[id] = at + 1
+		}
+	}
+	if ids == nil {
+		for _, s := range r.Sets() {
+			fill(s)
+		}
+	} else {
+		for _, id := range ids {
+			fill(r.Set(id))
 		}
 	}
 	return inv
 }
 
-// Sets returns the posting list for token, or nil when the token occurs in
-// no set. Callers must not mutate the result.
+// Postings returns the posting list for a token ID as parallel slices of
+// global set IDs and candidate-local element positions. IDs outside the
+// vocabulary (e.g. the -1 of an out-of-vocabulary query element) yield nil.
+// Callers must not mutate the results.
+func (inv *Inverted) Postings(id int32) (sids, poss []int32) {
+	if id < 0 || int(id) >= len(inv.offsets)-1 {
+		return nil, nil
+	}
+	lo, hi := inv.offsets[id], inv.offsets[id+1]
+	return inv.sids[lo:hi], inv.poss[lo:hi]
+}
+
+// Sets returns the posting list for a token string, or nil when the token
+// occurs in no indexed set — the string-keyed view kept for the baseline
+// systems; the engine hot path uses Postings. Callers must not mutate the
+// result.
 func (inv *Inverted) Sets(token string) []int32 {
-	return inv.postings[token]
+	sids, _ := inv.Postings(inv.repo.TokenID(token))
+	if len(sids) == 0 {
+		return nil
+	}
+	return sids
 }
 
 // Tokens returns the number of distinct tokens indexed.
-func (inv *Inverted) Tokens() int { return len(inv.postings) }
+func (inv *Inverted) Tokens() int { return inv.tokens }
 
 // Entries returns the aggregate posting-list length Σ|C| (the D⁺ of the
 // paper's space analysis, §VII-B).
-func (inv *Inverted) Entries() int { return inv.entries }
+func (inv *Inverted) Entries() int { return len(inv.sids) }
 
 // FootprintBytes estimates the in-memory size of the index for the memory
-// experiments (Fig. 5d/6d): postings plus key strings and map overhead.
+// experiments (Fig. 5d/6d): the offset table plus the two arena slices.
+// Token strings live once in the repository dictionary, not in the index.
 func (inv *Inverted) FootprintBytes() int64 {
-	var b int64
-	for tok, list := range inv.postings {
-		b += int64(len(tok)) + 16 // string header
-		b += int64(len(list))*4 + 24
-		b += 48 // map bucket overhead estimate
-	}
-	return b
+	return int64(len(inv.offsets))*4 + int64(len(inv.sids))*8 + 3*24
 }

@@ -21,6 +21,7 @@ type MinHashLSH struct {
 	seedsB  []uint64
 	buckets []map[uint64][]int // one bucket map per band
 	tokens  []string
+	ids     []int32 // vocab position of each indexed token
 	grams   [][]string
 	sigs    [][]uint64
 	byToken map[string]int
@@ -59,13 +60,14 @@ func NewMinHashLSH(vocab []string, q, bands, rows int, seed int64) *MinHashLSH {
 	for b := range l.buckets {
 		l.buckets[b] = make(map[uint64][]int)
 	}
-	for _, tok := range vocab {
+	for vi, tok := range vocab {
 		if _, dup := l.byToken[tok]; dup {
 			continue
 		}
 		id := len(l.tokens)
 		l.byToken[tok] = id
 		l.tokens = append(l.tokens, tok)
+		l.ids = append(l.ids, int32(vi))
 		grams := sim.QGrams(tok, q)
 		l.grams = append(l.grams, grams)
 		sig := l.signature(grams)
@@ -116,7 +118,7 @@ func (l *MinHashLSH) Neighbors(q string, alpha float64) []Neighbor {
 			}
 			seen[id] = true
 			if s := l.fn.Sim(q, l.tokens[id]); s >= alpha {
-				out = append(out, Neighbor{Token: l.tokens[id], Sim: s})
+				out = append(out, Neighbor{Token: l.tokens[id], Sim: s, ID: l.ids[id]})
 			}
 		}
 	}

@@ -5,11 +5,15 @@ import (
 )
 
 // Tuple is one element of the token stream Ie: query element qᵢ (by index
-// into the query slice), a vocabulary token, and their similarity.
+// into the query slice), a vocabulary token, and their similarity. TokenID
+// is the token's interned repository ID when the stream was built with
+// NewStreamInterned (-1 for an identity tuple of a token occurring in no
+// set); streams built with NewStream leave identity tuples unresolved.
 type Tuple struct {
-	QIdx  int
-	Token string
-	Sim   float64
+	QIdx    int
+	Token   string
+	TokenID int32
+	Sim     float64
 }
 
 // Stream is the token stream Ie of §IV: for each query element it holds the
@@ -23,6 +27,7 @@ type Tuple struct {
 // lower bound of a candidate starts at its vanilla overlap.
 type Stream struct {
 	query     []string
+	qids      []int32 // interned ID per query element; nil when unresolved
 	lists     [][]Neighbor
 	pos       []int
 	heap      *pqueue.Heap[streamHead]
@@ -34,6 +39,7 @@ type Stream struct {
 type streamHead struct {
 	qIdx  int
 	token string
+	id    int32
 	sim   float64
 }
 
@@ -49,9 +55,20 @@ func headLess(a, b streamHead) bool {
 
 // NewStream probes src once per query element (threshold alpha) and prepares
 // the merged stream. The query slice must contain distinct elements.
+// Identity tuples carry TokenID -1; callers that consume token IDs use
+// NewStreamInterned instead.
 func NewStream(query []string, src NeighborSource, alpha float64) *Stream {
+	return NewStreamInterned(query, nil, src, alpha)
+}
+
+// NewStreamInterned is NewStream with the query elements' interned token IDs
+// (qids[i] is the repository token ID of query[i], -1 for a token occurring
+// in no set), so every emitted tuple — identity tuples included — carries
+// its token ID. A nil qids marks all identity tuples unresolved (-1).
+func NewStreamInterned(query []string, qids []int32, src NeighborSource, alpha float64) *Stream {
 	s := &Stream{
 		query: query,
+		qids:  qids,
 		lists: make([][]Neighbor, len(query)),
 		pos:   make([]int, len(query)),
 		heap:  pqueue.NewHeap[streamHead](headLess),
@@ -61,12 +78,19 @@ func NewStream(query []string, src NeighborSource, alpha float64) *Stream {
 		s.retrieved += len(s.lists[i])
 		if len(s.lists[i]) > 0 {
 			n := s.lists[i][0]
-			s.heap.Push(streamHead{qIdx: i, token: n.Token, sim: n.Sim})
+			s.heap.Push(streamHead{qIdx: i, token: n.Token, id: n.ID, sim: n.Sim})
 			s.pos[i] = 1
 		}
 	}
 	s.pending = len(query)
 	return s
+}
+
+func (s *Stream) qid(i int) int32 {
+	if s.qids == nil {
+		return -1
+	}
+	return s.qids[i]
 }
 
 // Next returns the next tuple in descending similarity order. The second
@@ -76,7 +100,7 @@ func (s *Stream) Next() (Tuple, bool) {
 		i := len(s.query) - s.pending
 		s.pending--
 		s.emitted++
-		return Tuple{QIdx: i, Token: s.query[i], Sim: 1}, true
+		return Tuple{QIdx: i, Token: s.query[i], TokenID: s.qid(i), Sim: 1}, true
 	}
 	if s.heap.Len() == 0 {
 		return Tuple{}, false
@@ -87,11 +111,11 @@ func (s *Stream) Next() (Tuple, bool) {
 	// element corresponding to the popped element").
 	if p := s.pos[top.qIdx]; p < len(s.lists[top.qIdx]) {
 		n := s.lists[top.qIdx][p]
-		s.heap.Push(streamHead{qIdx: top.qIdx, token: n.Token, sim: n.Sim})
+		s.heap.Push(streamHead{qIdx: top.qIdx, token: n.Token, id: n.ID, sim: n.Sim})
 		s.pos[top.qIdx] = p + 1
 	}
 	s.emitted++
-	return Tuple{QIdx: top.qIdx, Token: top.token, Sim: top.sim}, true
+	return Tuple{QIdx: top.qIdx, Token: top.token, TokenID: top.id, Sim: top.sim}, true
 }
 
 // Emitted returns the number of tuples emitted so far.
@@ -109,7 +133,7 @@ func (s *Stream) FootprintBytes() int64 {
 	for _, list := range s.lists {
 		b += 24 // slice header
 		for _, n := range list {
-			b += int64(len(n.Token)) + 16 + 8
+			b += int64(len(n.Token)) + 16 + 8 + 4
 		}
 	}
 	b += int64(len(s.query)) * 8 // pos + heap entries amortized

@@ -3,15 +3,22 @@ package index
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/sim"
 )
 
 // Neighbor is a vocabulary token with its similarity to a query element.
+// ID is the token's position in the vocabulary slice the index was built
+// over; when that slice is a repository's Vocabulary() — the wiring every
+// engine constructor uses — ID is the repository's interned token ID, so
+// stream consumers never need a string lookup.
 type Neighbor struct {
 	Token string
 	Sim   float64
+	ID    int32
 }
 
 // NeighborSource performs threshold-based similarity retrieval over the
@@ -31,6 +38,7 @@ type NeighborSource interface {
 // structured the same way.
 type Exact struct {
 	tokens  []string
+	ids     []int32 // vocab position of each indexed token
 	vecs    [][]float32
 	byToken map[string]int
 	batch   int
@@ -40,13 +48,14 @@ type Exact struct {
 // copied and L2-normalized so retrieval can use the dot product.
 func NewExact(vocab []string, vec func(string) ([]float32, bool)) *Exact {
 	e := &Exact{byToken: make(map[string]int, len(vocab)), batch: 100}
-	for _, tok := range vocab {
+	for vi, tok := range vocab {
 		v, ok := vec(tok)
 		if !ok {
 			continue
 		}
 		e.byToken[tok] = len(e.tokens)
 		e.tokens = append(e.tokens, tok)
+		e.ids = append(e.ids, int32(vi))
 		e.vecs = append(e.vecs, normalizeCopy(v))
 	}
 	return e
@@ -73,7 +82,7 @@ func (e *Exact) Neighbors(q string, alpha float64) []Neighbor {
 				continue
 			}
 			if s := sim.Dot(qv, e.vecs[i]); s >= alpha {
-				out = append(out, Neighbor{Token: e.tokens[i], Sim: s})
+				out = append(out, Neighbor{Token: e.tokens[i], Sim: s, ID: e.ids[i]})
 			}
 		}
 	}
@@ -102,6 +111,7 @@ type IVF struct {
 	centroids [][]float32
 	lists     [][]int // vector indices per centroid
 	tokens    []string
+	ids       []int32 // vocab position of each indexed token
 	vecs      [][]float32
 	byToken   map[string]int
 	nprobe    int
@@ -111,13 +121,14 @@ type IVF struct {
 // iterations) probing nprobe lists per query.
 func NewIVF(vocab []string, vec func(string) ([]float32, bool), nlist, nprobe int, seed int64) *IVF {
 	ix := &IVF{byToken: make(map[string]int, len(vocab)), nprobe: nprobe}
-	for _, tok := range vocab {
+	for vi, tok := range vocab {
 		v, ok := vec(tok)
 		if !ok {
 			continue
 		}
 		ix.byToken[tok] = len(ix.tokens)
 		ix.tokens = append(ix.tokens, tok)
+		ix.ids = append(ix.ids, int32(vi))
 		ix.vecs = append(ix.vecs, normalizeCopy(v))
 	}
 	if nlist <= 0 {
@@ -219,7 +230,7 @@ func (ix *IVF) Neighbors(q string, alpha float64) []Neighbor {
 				continue
 			}
 			if s := sim.Dot(qv, ix.vecs[i]); s >= alpha {
-				out = append(out, Neighbor{Token: ix.tokens[i], Sim: s})
+				out = append(out, Neighbor{Token: ix.tokens[i], Sim: s, ID: ix.ids[i]})
 			}
 		}
 	}
@@ -242,12 +253,12 @@ func NewFuncIndex(vocab []string, fn sim.Func) *FuncIndex {
 // Neighbors implements NeighborSource.
 func (f *FuncIndex) Neighbors(q string, alpha float64) []Neighbor {
 	var out []Neighbor
-	for _, tok := range f.vocab {
+	for vi, tok := range f.vocab {
 		if tok == q {
 			continue
 		}
 		if s := f.fn.Sim(q, tok); s >= alpha {
-			out = append(out, Neighbor{Token: tok, Sim: s})
+			out = append(out, Neighbor{Token: tok, Sim: s, ID: int32(vi)})
 		}
 	}
 	sortNeighbors(out)
@@ -255,11 +266,14 @@ func (f *FuncIndex) Neighbors(q string, alpha float64) []Neighbor {
 }
 
 func sortNeighbors(ns []Neighbor) {
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].Sim != ns[j].Sim {
-			return ns[i].Sim > ns[j].Sim
+	slices.SortFunc(ns, func(a, b Neighbor) int {
+		if a.Sim != b.Sim {
+			if a.Sim > b.Sim {
+				return -1
+			}
+			return 1
 		}
-		return ns[i].Token < ns[j].Token
+		return strings.Compare(a.Token, b.Token)
 	})
 }
 

@@ -18,34 +18,45 @@ type Set struct {
 	Name string
 	// Elements are the distinct tokens of the set.
 	Elements []string
+	// ElemIDs are the interned token IDs of Elements, position for position;
+	// assigned by NewRepository. The query hot path (CSR postings, edge
+	// cache, verification matrices) runs entirely on these IDs.
+	ElemIDs []int32
 }
 
-// Repository is an immutable collection of sets plus derived metadata.
+// Repository is an immutable collection of sets plus derived metadata: the
+// vocabulary dictionary interning every distinct element as a dense int32
+// token ID in first-seen order.
 type Repository struct {
-	sets  []Set
-	vocab []string
+	sets    []Set
+	vocab   []string
+	tokenID map[string]int32
 }
 
 // NewRepository builds a repository from raw sets: elements are
 // de-duplicated (preserving first occurrence), IDs are assigned by position,
-// and the vocabulary is collected. Empty sets are kept (they can never be
-// candidates, which exercises a pruning edge case).
+// and every distinct element is interned into the vocabulary dictionary.
+// Empty sets are kept (they can never be candidates, which exercises a
+// pruning edge case).
 func NewRepository(raw []Set) *Repository {
-	r := &Repository{sets: make([]Set, len(raw))}
-	vocabSeen := make(map[string]bool)
+	r := &Repository{sets: make([]Set, len(raw)), tokenID: make(map[string]int32)}
 	for i, s := range raw {
 		elems := dedup(s.Elements)
 		name := s.Name
 		if name == "" {
 			name = fmt.Sprintf("set-%d", i)
 		}
-		r.sets[i] = Set{ID: i, Name: name, Elements: elems}
-		for _, e := range elems {
-			if !vocabSeen[e] {
-				vocabSeen[e] = true
+		ids := make([]int32, len(elems))
+		for j, e := range elems {
+			id, ok := r.tokenID[e]
+			if !ok {
+				id = int32(len(r.vocab))
+				r.tokenID[e] = id
 				r.vocab = append(r.vocab, e)
 			}
+			ids[j] = id
 		}
+		r.sets[i] = Set{ID: i, Name: name, Elements: elems, ElemIDs: ids}
 	}
 	return r
 }
@@ -72,8 +83,34 @@ func (r *Repository) Set(id int) Set { return r.sets[id] }
 func (r *Repository) Sets() []Set { return r.sets }
 
 // Vocabulary returns the distinct elements across all sets in first-seen
-// order. Callers must not mutate the result.
+// order; the position of a token in the slice is its token ID. Callers must
+// not mutate the result.
 func (r *Repository) Vocabulary() []string { return r.vocab }
+
+// VocabSize returns the number of distinct tokens (the token ID space).
+func (r *Repository) VocabSize() int { return len(r.vocab) }
+
+// TokenID returns the interned ID of token, or -1 when the token occurs in
+// no set of the repository.
+func (r *Repository) TokenID(token string) int32 {
+	if id, ok := r.tokenID[token]; ok {
+		return id
+	}
+	return -1
+}
+
+// Token returns the token string for a valid token ID.
+func (r *Repository) Token(id int32) string { return r.vocab[id] }
+
+// TokenIDs interns a slice of tokens, mapping out-of-vocabulary tokens
+// (tokens occurring in no set) to -1.
+func (r *Repository) TokenIDs(tokens []string) []int32 {
+	out := make([]int32, len(tokens))
+	for i, tok := range tokens {
+		out[i] = r.TokenID(tok)
+	}
+	return out
+}
 
 // Stats are the dataset characteristics of Table I.
 type Stats struct {

@@ -134,3 +134,40 @@ func TestCardinalityPercentiles(t *testing.T) {
 		t.Fatalf("median %d outside range", got[1])
 	}
 }
+
+func TestTokenInterning(t *testing.T) {
+	r := sample()
+	// IDs are first-seen positions: Vocabulary()[id] inverts TokenID.
+	for i, tok := range r.Vocabulary() {
+		if got := r.TokenID(tok); got != int32(i) {
+			t.Fatalf("TokenID(%q) = %d, want %d", tok, got, i)
+		}
+		if got := r.Token(int32(i)); got != tok {
+			t.Fatalf("Token(%d) = %q, want %q", i, got, tok)
+		}
+	}
+	if r.VocabSize() != len(r.Vocabulary()) {
+		t.Fatalf("VocabSize = %d, want %d", r.VocabSize(), len(r.Vocabulary()))
+	}
+	if got := r.TokenID("no-such-token"); got != -1 {
+		t.Fatalf("TokenID(miss) = %d, want -1", got)
+	}
+	ids := r.TokenIDs([]string{"x", "no-such-token", "w"})
+	if ids[0] != r.TokenID("x") || ids[1] != -1 || ids[2] != r.TokenID("w") {
+		t.Fatalf("TokenIDs = %v", ids)
+	}
+}
+
+func TestSetElemIDs(t *testing.T) {
+	r := sample()
+	for _, s := range r.Sets() {
+		if len(s.ElemIDs) != len(s.Elements) {
+			t.Fatalf("set %d: %d ElemIDs for %d elements", s.ID, len(s.ElemIDs), len(s.Elements))
+		}
+		for j, e := range s.Elements {
+			if s.ElemIDs[j] != r.TokenID(e) {
+				t.Fatalf("set %d pos %d: ElemID %d != TokenID(%q) %d", s.ID, j, s.ElemIDs[j], e, r.TokenID(e))
+			}
+		}
+	}
+}
