@@ -38,7 +38,7 @@ func runExp(b *testing.B, exp string) {
 }
 
 // One benchmark per paper artifact (Tables I–V, Figures 5–8, the SilkMoth
-// comparison of §VIII-B, and the design-choice ablations of DESIGN.md §6).
+// comparison of §VIII-B, and the design-choice ablations of DESIGN.md §7).
 
 func BenchmarkTable1Datasets(b *testing.B)        { runExp(b, "table1") }
 func BenchmarkTable2PruningPower(b *testing.B)    { runExp(b, "table2") }

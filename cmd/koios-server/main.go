@@ -2,7 +2,9 @@
 //
 // It loads a dataset either from a file written by `koios-datagen -format
 // store` or by generating one of the synthetic evaluation corpora, builds
-// the indexes once, and answers JSON queries:
+// the indexes once, and answers JSON queries. The collection stays mutable
+// while serving: POST /v1/sets and DELETE /v1/sets/{name} insert and remove
+// sets without a restart (see the segment manager, DESIGN.md §4).
 //
 //	koios-server -dataset opendata -scale 0.1 -addr :7411
 //	koios-server -data wdc.koios.gz -addr :7411
@@ -10,17 +12,30 @@
 //	curl -s localhost:7411/v1/info
 //	curl -s -X POST localhost:7411/v1/search \
 //	     -d '{"query": ["alpha", "beta"], "k": 5}'
+//	curl -s -X POST localhost:7411/v1/sets \
+//	     -d '{"name": "mine", "elements": ["alpha", "gamma"]}'
+//	curl -s -X DELETE localhost:7411/v1/sets/mine
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -drain before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/index"
+	"repro/internal/segment"
 	"repro/internal/server"
 	"repro/internal/sets"
 	"repro/internal/store"
@@ -36,44 +51,86 @@ func main() {
 		alpha   = flag.Float64("alpha", 0.8, "element similarity threshold")
 		parts   = flag.Int("partitions", 4, "repository partitions")
 		workers = flag.Int("workers", 4, "verification workers per partition")
+		seal    = flag.Int("seal", 256, "memtable sets buffered before sealing a segment")
+		maxSegs = flag.Int("max-segments", 4, "sealed segments tolerated before compaction")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
 
-	repo, src, err := loadData(*data, *dataset, *scale)
+	mgr, err := loadManager(*data, *dataset, *scale, core.Options{
+		K:           *k,
+		Alpha:       *alpha,
+		Partitions:  *parts,
+		Workers:     *workers,
+		ExactScores: true,
+	}, segment.Config{SealThreshold: *seal, MaxSegments: *maxSegs})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	srv := server.New(repo, src, server.Config{
+	handler := server.New(mgr, server.Config{
 		K:          *k,
 		Alpha:      *alpha,
 		Partitions: *parts,
 		Workers:    *workers,
 	})
-	log.Printf("koios-server: %d sets, %d tokens, listening on %s", repo.Len(), len(repo.Vocabulary()), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("koios-server: %d sets, %d tokens, listening on %s", mgr.Len(), mgr.VocabSize(), *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		// Listener failed before any signal (port in use, …).
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("koios-server: %v, draining for up to %v", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("koios-server: forced shutdown: %v", err)
+			srv.Close()
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("koios-server: %v", err)
+		}
+		log.Print("koios-server: bye")
+	}
 }
 
-func loadData(path, kind string, scale float64) (*sets.Repository, index.NeighborSource, error) {
+func loadManager(path, kind string, scale float64, opts core.Options, segCfg segment.Config) (*segment.Manager, error) {
+	var (
+		seed []sets.Set
+		vec  func(string) ([]float32, bool)
+	)
 	if path != "" {
 		f, err := store.Load(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		repo := f.Repository()
 		vecs, err := f.Vectors.Decode()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if len(vecs) == 0 {
-			return nil, nil, fmt.Errorf("koios-server: %s has no vectors; regenerate with koios-datagen -format store", path)
+			return nil, fmt.Errorf("koios-server: %s has no vectors; regenerate with koios-datagen -format store", path)
 		}
-		src := index.NewExact(repo.Vocabulary(), func(tok string) ([]float32, bool) {
+		seed = f.Repository().Sets()
+		vec = func(tok string) ([]float32, bool) {
 			v, ok := vecs[tok]
 			return v, ok
-		})
-		return repo, src, nil
+		}
+	} else {
+		ds := datagen.GenerateDefault(datagen.Kind(kind), scale)
+		seed = ds.Repo.Sets()
+		vec = ds.Model.Vector
 	}
-	ds := datagen.GenerateDefault(datagen.Kind(kind), scale)
-	return ds.Repo, index.NewExact(ds.Repo.Vocabulary(), ds.Model.Vector), nil
+	return segment.NewManager(seed, func(dict *sets.Dictionary) index.NeighborSource {
+		return index.NewDynamicExact(dict, vec)
+	}, opts.WithDefaults(), segCfg), nil
 }

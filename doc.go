@@ -35,6 +35,14 @@
 //	eng := koios.New(collection, koios.JaccardQGrams(3), koios.Config{K: 5, Alpha: 0.7})
 //	results, stats := eng.Search([]string{"Los Angeles", "Sea-Tac", "SFO"})
 //
+// The collection stays mutable after construction — the engine serves
+// searches from immutable segments (DESIGN.md §4), so writes never block
+// readers:
+//
+//	eng.Insert(koios.Set{Name: "mountain", Elements: []string{"Denver", "Boise"}})
+//	eng.Delete("west-coast")
+//	results, _ = eng.Search([]string{"Denver"}) // sees the new state
+//
 // For embedding-based similarity, use NewWithVectors with any func that
 // maps a token to its vector. See the examples/ directory for runnable
 // programs and DESIGN.md / EXPERIMENTS.md for the paper reproduction.

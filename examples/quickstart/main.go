@@ -74,4 +74,18 @@ func main() {
 	fmt.Printf("\n%d candidates, %d pruned in refinement, %d exact matchings\n",
 		stats.Candidates, stats.IUBPruned, stats.EMFull+stats.FinalizeEM)
 	fmt.Println("\nGreedy would have ranked C1 first (4.09 > 3.74) — exact matching flips it.")
+
+	// The collection stays mutable after construction: inserts and deletes
+	// are served from immutable segments, so concurrent searches never
+	// block (DESIGN.md §4).
+	eng.Insert(koios.Set{Name: "C3", Elements: query})
+	results, _ = eng.Search(query)
+	fmt.Println("\nAfter inserting C3 (the query itself):")
+	for rank, r := range results {
+		fmt.Printf("  #%d  %-3s score=%.2f\n", rank+1, r.SetName, r.Score)
+	}
+	eng.Delete("C3")
+	if results, _ = eng.Search(query); results[0].SetName == "C2" {
+		fmt.Println("\nAfter deleting C3, C2 leads again — as if C3 had never existed.")
+	}
 }

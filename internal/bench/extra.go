@@ -93,7 +93,7 @@ func (r *Runner) SilkMothComparison() {
 	r.printf("%-22s %14v %12.0f %12.0f\n", "SilkMoth-semantic", (semTime / n).Round(time.Microsecond), avgInt(semCand), avgInt(semVerified))
 }
 
-// Ablation quantifies each design choice called out in DESIGN.md §6: the
+// Ablation quantifies each design choice called out in DESIGN.md §7: the
 // full engine against single-filter-disabled variants, plus the greedy
 // scorer's result quality gap and the IVF index recall trade.
 func (r *Runner) Ablation() {

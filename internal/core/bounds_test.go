@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/index"
@@ -28,10 +29,10 @@ func TestRefinementBoundsSound(t *testing.T) {
 		alpha := 0.55 + float64(seed%4)*0.1
 		eng := NewEngine(repo, src, Options{K: 3, Alpha: alpha, DisableIUB: true})
 
-		tuples, _, _ := eng.materializeStream(query, repo.TokenIDs(query), eng.getScratch())
+		tuples, _, _ := eng.materializeStream(query, repo.TokenIDs(query), eng.getScratch(), nil, nil)
 		theta := &atomicMax{}
 		var stats Stats
-		survivors := eng.refinePartition(len(query), tuples, 0, theta, &stats)
+		survivors := eng.refinePartition(context.Background(), len(query), tuples, 0, theta, &stats, nil)
 
 		if len(survivors) != stats.Candidates {
 			t.Fatalf("seed %d: %d survivors, %d candidates (filters disabled)", seed, len(survivors), stats.Candidates)
@@ -72,10 +73,10 @@ func TestLemma6Counterexample(t *testing.T) {
 	eng := NewEngine(repo, src, Options{K: 1, Alpha: 0.5, DisableIUB: true})
 
 	query := []string{"q1", "q2"}
-	tuples, _, _ := eng.materializeStream(query, repo.TokenIDs(query), eng.getScratch())
+	tuples, _, _ := eng.materializeStream(query, repo.TokenIDs(query), eng.getScratch(), nil, nil)
 	theta := &atomicMax{}
 	var stats Stats
-	survivors := eng.refinePartition(len(query), tuples, 0, theta, &stats)
+	survivors := eng.refinePartition(context.Background(), len(query), tuples, 0, theta, &stats, nil)
 
 	exact := exactSO(query, repo.Set(0), ps, 0.5) // 0.899 + 0.899
 	if exact < 1.797 || exact > 1.799 {
@@ -109,7 +110,7 @@ func TestStreamFirstFlags(t *testing.T) {
 	query = dedupStrings(query)
 	src := index.NewFuncIndex(repo.Vocabulary(), model)
 	eng := NewEngine(repo, src, Options{K: 3, Alpha: 0.6})
-	tuples, cache, _ := eng.materializeStream(query, repo.TokenIDs(query), eng.getScratch())
+	tuples, cache, _ := eng.materializeStream(query, repo.TokenIDs(query), eng.getScratch(), nil, nil)
 	seen := map[int32]bool{}
 	inVocab := 0
 	for i, tup := range tuples {

@@ -1,12 +1,10 @@
 package core
 
 import (
-	"sort"
+	"context"
 	"sync"
-	"time"
 
 	"repro/internal/index"
-	"repro/internal/pqueue"
 	"repro/internal/sets"
 )
 
@@ -141,79 +139,26 @@ func (c *edgeCache) edges(tid int32) []qEdge {
 // Search runs the top-k semantic overlap search for query and returns the
 // result sets in descending score order together with filter statistics.
 func (e *Engine) Search(query []string) ([]Result, Stats) {
-	var stats Stats
-	query = dedupStrings(query)
-	if len(query) == 0 {
-		return nil, stats
-	}
-	qids := e.repo.TokenIDs(query)
-
-	refineStart := time.Now()
-	sc := e.getScratch()
-	defer e.scratch.Put(sc) // cache.offsets aliases sc; released when Search returns
-	tuples, cache, streamMem := e.materializeStream(query, qids, sc)
-	stats.StreamTuples = len(tuples)
-	stats.MemStreamBytes = streamMem
-
-	theta := &atomicMax{}
-	partStats := make([]Stats, len(e.parts))
-	partSurv := make([][]survivor, len(e.parts))
-
-	var wg sync.WaitGroup
-	for i := range e.parts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			partSurv[i] = e.refinePartition(len(query), tuples, i, theta, &partStats[i])
-		}(i)
-	}
-	wg.Wait()
-	for i := range partStats {
-		stats.add(&partStats[i])
-	}
-	stats.RefineTime = time.Since(refineStart)
-
-	// Post-processing runs once over the union of the partitions'
-	// survivors: the partitions already share the global θlb (§VI), so a
-	// single Alg. 2 pass over the merged candidate pool is equivalent to
-	// per-partition passes plus a merge — and avoids exact-matching up to
-	// k·partitions partition-local winners that the global top-k never
-	// needs (exactly the expensive near-duplicate sets).
-	postStart := time.Now()
-	var survivors []survivor
-	for i := range partSurv {
-		survivors = append(survivors, partSurv[i]...)
-	}
-	llb := pqueue.NewTopK(e.opts.K)
-	for _, sv := range survivors {
-		llb.Update(sv.setID, sv.lb)
-	}
-	theta.Update(llb.Bottom())
-	results := e.postproc(len(query), cache, survivors, llb, theta, &stats)
-
-	if e.opts.ExactScores {
-		for i, r := range results {
-			if r.Verified {
-				continue
-			}
-			// A result set is a proven top-k member, so its score is at
-			// least θlb ≤ θ*k and the bounded verification can never
-			// terminate early (the label sum never drops below the score).
-			res := e.verify(len(query), cache, e.repo.Set(r.SetID), theta)
-			stats.HungarianIterations += res.Iterations
-			stats.FinalizeEM++
-			results[i].Score = res.Score
-			results[i].Verified = true
-		}
-		sort.Slice(results, func(i, j int) bool {
-			if results[i].Score != results[j].Score {
-				return results[i].Score > results[j].Score
-			}
-			return results[i].SetID < results[j].SetID
-		})
-	}
-	stats.PostprocTime = time.Since(postStart)
+	results, stats, _ := e.SearchContext(context.Background(), query)
 	return results, stats
+}
+
+// SearchContext is Search observing ctx: the refinement and post-processing
+// loops poll for cancellation and the search returns ctx's error (with no
+// results and partial statistics) once canceled, so abandoned queries stop
+// burning CPU. The search itself runs over the engine as a single-segment
+// Group; multi-segment collections build the Group themselves.
+func (e *Engine) SearchContext(ctx context.Context, query []string) ([]Result, Stats, error) {
+	g := &Group{Engines: []*Engine{e}}
+	gres, stats, err := g.SearchContext(ctx, query)
+	if err != nil {
+		return nil, stats, err
+	}
+	results := make([]Result, len(gres))
+	for i, r := range gres {
+		results[i] = Result{SetID: r.Local, Score: r.Score, Verified: r.Verified}
+	}
+	return results, stats, nil
 }
 
 // materializeStream drains the token stream once, recording first-arrival
@@ -226,8 +171,14 @@ func (e *Engine) Search(query []string) ([]Result, Stats) {
 // operations and a constant number of stream-sized allocations. The
 // returned cache aliases sc.offsets; the caller owns sc until it is done
 // with the cache.
-func (e *Engine) materializeStream(query []string, qids []int32, sc *queryScratch) ([]streamTuple, *edgeCache, int64) {
-	st := index.NewStreamInterned(query, qids, e.src, e.opts.Alpha)
+//
+// live and skip implement the segmented engine's live-token semantics
+// (both may be nil): tuples whose token occurs in no live set are demoted
+// to out-of-vocabulary, and skip-masked query elements are never probed —
+// together they make the stream identical to one an engine built only on
+// the live sets would produce.
+func (e *Engine) materializeStream(query []string, qids []int32, sc *queryScratch, live []uint64, skip []bool) ([]streamTuple, *edgeCache, int64) {
+	st := index.NewStreamMasked(query, qids, e.src, e.opts.Alpha, skip)
 	tuples := make([]streamTuple, 0, st.Retrieved()+len(query))
 	seen := sc.seen
 	offsets := sc.offsets
@@ -242,6 +193,11 @@ func (e *Engine) materializeStream(query []string, qids []int32, sc *queryScratc
 			// (e.g. a shared discovery source) annotates IDs past the
 			// dictionary; such tokens occur in no set, so they are
 			// out-of-vocabulary here.
+			id = -1
+		}
+		if id >= 0 && live != nil && live[id>>6]&(1<<(uint(id)&63)) == 0 {
+			// The token survives only in deleted sets: out of vocabulary,
+			// exactly as if the index had been rebuilt without them.
 			id = -1
 		}
 		first := true

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/pqueue"
+)
+
+// Group is a consistent snapshot of one or more engine segments searched as
+// a single logical collection (DESIGN.md §4). The segments must share one
+// token-ID space (their repositories intern into the same dictionary, or
+// there is exactly one segment) and uniform search options; the newest
+// segment — the one with the largest vocabulary horizon — supplies the
+// token stream, every segment's partitions refine the same materialized
+// tuples against their own CSR postings under one shared global θlb, and a
+// single post-processing pass runs over the union of all survivors.
+//
+// Dead carries one optional tombstone bitset per segment, indexed by
+// segment-local set ID: tombstoned sets are skipped at candidate creation,
+// so a deleted set never contributes bounds, never enters the top-k lists,
+// and is never verified. A Group is immutable; searching it takes no locks,
+// which is what keeps Search wait-free with respect to writers.
+type Group struct {
+	// Engines are the segment engines, oldest first. Result ordering ties
+	// break toward older segments (then lower local IDs), which preserves
+	// insertion order across the whole group.
+	Engines []*Engine
+	// Dead[i] is segment i's tombstone bitset (nil when segment i has no
+	// tombstones). A shorter slice than Engines means the missing tails
+	// have none.
+	Dead [][]uint64
+	// LiveTokens, when non-nil, is the bitset of token IDs occurring in at
+	// least one live set. Tokens outside it (they survive only in deleted
+	// sets — the shared dictionary is append-only) are treated as out of
+	// vocabulary: their stream tuples are demoted to inert identity-only
+	// tuples, which makes the search byte-identical to an engine built
+	// from scratch on the live sets.
+	LiveTokens []uint64
+	// ProbeLiveOnly additionally skips the retrieval probe for query
+	// elements whose token is not live — set when the source is
+	// query-vocabulary-bound (index.QueryVocabBound): a from-scratch
+	// vector index would not cover such elements, while a function-scan
+	// source scores any query string and must still be probed.
+	ProbeLiveOnly bool
+}
+
+// GroupResult is one entry of a group search's top-k result: the set is
+// identified by its segment index and segment-local set ID.
+type GroupResult struct {
+	Seg      int
+	Local    int
+	Score    float64
+	Verified bool
+}
+
+// lead returns the engine with the largest vocabulary horizon — the newest
+// segment, whose repository view covers every token any segment indexed.
+func (g *Group) lead() *Engine {
+	lead := g.Engines[0]
+	for _, e := range g.Engines[1:] {
+		if e.vocabN > lead.vocabN {
+			lead = e
+		}
+	}
+	return lead
+}
+
+// locate resolves a group-wide dense set ID (base[seg]+local) back to its
+// segment engine, segment index, and local set ID.
+func (g *Group) locate(gid int, base []int) (*Engine, int, int) {
+	for si := len(g.Engines) - 1; si > 0; si-- {
+		if gid >= base[si] {
+			return g.Engines[si], si, gid - base[si]
+		}
+	}
+	return g.Engines[0], 0, gid
+}
+
+// SearchContext runs the top-k semantic overlap search for query across the
+// group's segments and returns the result sets in descending score order
+// together with aggregated filter statistics. The search observes ctx at
+// phase boundaries and inside the refinement and post-processing loops; on
+// cancellation it returns ctx's error with partial statistics and no
+// results.
+func (g *Group) SearchContext(ctx context.Context, query []string) ([]GroupResult, Stats, error) {
+	var stats Stats
+	stats.Segments = len(g.Engines)
+	query = dedupStrings(query)
+	if len(query) == 0 || len(g.Engines) == 0 {
+		return nil, stats, ctx.Err()
+	}
+	lead := g.lead()
+	opts := g.Engines[0].opts
+	qids := lead.repo.TokenIDs(query)
+	var skip []bool
+	if g.LiveTokens != nil {
+		// Query elements whose token survives only in deleted sets are out
+		// of vocabulary: identity tuple with an unresolved ID (and, on
+		// vocabulary-bound sources, no retrieval probe) — exactly what an
+		// engine that never saw those sets would do.
+		for i, id := range qids {
+			if id >= 0 && g.LiveTokens[id>>6]&(1<<(uint(id)&63)) == 0 {
+				if g.ProbeLiveOnly {
+					if skip == nil {
+						skip = make([]bool, len(query))
+					}
+					skip[i] = true
+				}
+				qids[i] = -1
+			}
+		}
+	}
+
+	refineStart := time.Now()
+	sc := lead.getScratch()
+	defer lead.scratch.Put(sc) // cache.offsets aliases sc; released on return
+	tuples, cache, streamMem := lead.materializeStream(query, qids, sc, g.LiveTokens, skip)
+	stats.StreamTuples = len(tuples)
+	stats.MemStreamBytes = streamMem
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+
+	// base turns (segment, local set ID) into one dense group-wide ID space
+	// ordered by segment age then local position — insertion order.
+	base := make([]int, len(g.Engines)+1)
+	for i, e := range g.Engines {
+		base[i+1] = base[i] + e.repo.Len()
+	}
+
+	// Every partition of every segment refines the same tuple slice in
+	// parallel; the global θlb is shared across all of them (§VI, extended
+	// across segments).
+	theta := &atomicMax{}
+	type chunk struct {
+		stats Stats
+		surv  []survivor
+	}
+	chunks := make([][]chunk, len(g.Engines))
+	var wg sync.WaitGroup
+	for si, e := range g.Engines {
+		chunks[si] = make([]chunk, len(e.parts))
+		var dead []uint64
+		if si < len(g.Dead) {
+			dead = g.Dead[si]
+		}
+		for p := range e.parts {
+			wg.Add(1)
+			go func(c *chunk, e *Engine, p int, dead []uint64) {
+				defer wg.Done()
+				c.surv = e.refinePartition(ctx, len(query), tuples, p, theta, &c.stats, dead)
+			}(&chunks[si][p], e, p, dead)
+		}
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	var survivors []survivor
+	for si := range chunks {
+		for p := range chunks[si] {
+			stats.add(&chunks[si][p].stats)
+			for _, sv := range chunks[si][p].surv {
+				sv.setID += base[si]
+				survivors = append(survivors, sv)
+			}
+		}
+	}
+	stats.RefineTime = time.Since(refineStart)
+
+	// Post-processing runs once over the union of all segments' and
+	// partitions' survivors: they already share the global θlb, so a single
+	// Alg. 2 pass over the merged candidate pool is equivalent to per-part
+	// passes plus a merge — and avoids exact-matching up to k·parts
+	// partition-local winners that the global top-k never needs.
+	postStart := time.Now()
+	llb := pqueue.NewTopK(opts.K)
+	for _, sv := range survivors {
+		llb.Update(sv.setID, sv.lb)
+	}
+	theta.Update(llb.Bottom())
+	results, err := g.postproc(ctx, len(query), cache, survivors, llb, theta, &stats, base)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	if opts.ExactScores {
+		for i, r := range results {
+			if r.Verified {
+				continue
+			}
+			// A result set is a proven top-k member, so its score is at
+			// least θlb ≤ θ*k and the bounded verification can never
+			// terminate early (the label sum never drops below the score).
+			eng, _, local := g.locate(r.SetID, base)
+			res := eng.verify(len(query), cache, eng.repo.Set(local), theta)
+			stats.HungarianIterations += res.Iterations
+			stats.FinalizeEM++
+			results[i].Score = res.Score
+			results[i].Verified = true
+		}
+		sort.Slice(results, func(i, j int) bool {
+			if results[i].Score != results[j].Score {
+				return results[i].Score > results[j].Score
+			}
+			return results[i].SetID < results[j].SetID
+		})
+	}
+	stats.PostprocTime = time.Since(postStart)
+
+	out := make([]GroupResult, len(results))
+	for i, r := range results {
+		_, seg, local := g.locate(r.SetID, base)
+		out[i] = GroupResult{Seg: seg, Local: local, Score: r.Score, Verified: r.Verified}
+	}
+	return out, stats, nil
+}

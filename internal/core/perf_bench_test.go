@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/datagen"
@@ -28,7 +29,7 @@ func newPerfFixture(b *testing.B, kind datagen.Kind) *perfFixture {
 	query := dedupStrings(datagen.NewBenchmark(ds, 1).Queries[0].Elements)
 	cached.Prewarm([][]string{query}, eng.Options().Alpha)
 	f := &perfFixture{eng: eng, query: query, qids: ds.Repo.TokenIDs(query)}
-	f.tuples, _, _ = eng.materializeStream(query, f.qids, eng.getScratch())
+	f.tuples, _, _ = eng.materializeStream(query, f.qids, eng.getScratch(), nil, nil)
 	return f
 }
 
@@ -40,7 +41,7 @@ func BenchmarkMaterializeStream(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sc := f.eng.getScratch()
-				f.eng.materializeStream(f.query, f.qids, sc)
+				f.eng.materializeStream(f.query, f.qids, sc, nil, nil)
 				f.eng.scratch.Put(sc)
 			}
 		})
@@ -56,7 +57,7 @@ func BenchmarkRefinePartition(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				theta := &atomicMax{}
 				var stats Stats
-				f.eng.refinePartition(len(f.query), f.tuples, 0, theta, &stats)
+				f.eng.refinePartition(context.Background(), len(f.query), f.tuples, 0, theta, &stats, nil)
 			}
 		})
 	}

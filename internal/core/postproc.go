@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -22,7 +23,9 @@ func ubMore(a, b ubEntry) bool {
 }
 
 // postproc runs Algorithm 2 over the refinement survivors (merged across
-// partitions — they already share the global θlb). It maintains
+// all partitions and segments — they already share the global θlb).
+// Survivor set IDs are group-wide dense IDs (base[seg]+local); locate
+// resolves them back to a segment engine for verification. It maintains
 //
 //   - Lub, the running top-k list by upper bound (its bottom is θub);
 //   - Qub, a priority queue of the remaining sets by upper bound;
@@ -33,8 +36,16 @@ func ubMore(a, b ubEntry) bool {
 // any score stored in Lub. Lub.Bottom() therefore equals the k-th largest
 // upper bound over all alive sets, which is what Lemma 7's No-EM test
 // requires.
-func (e *Engine) postproc(qN int, cache *edgeCache, survivors []survivor, llb *pqueue.TopK, theta *atomicMax, stats *Stats) []Result {
-	opts := e.opts
+//
+// ctx is polled once per round of the outer loop; on cancellation postproc
+// returns ctx's error (in-flight verifications of the current round finish
+// first — they are bounded by the label-sum filter).
+func (g *Group) postproc(ctx context.Context, qN int, cache *edgeCache, survivors []survivor, llb *pqueue.TopK, theta *atomicMax, stats *Stats, base []int) ([]Result, error) {
+	opts := g.Engines[0].opts
+	verifyGid := func(gid int) matching.Result {
+		eng, _, local := g.locate(gid, base)
+		return eng.verify(qN, cache, eng.repo.Set(local), theta)
+	}
 	k := opts.K
 	ub := make(map[int]float64, len(survivors))
 	lb := make(map[int]float64, len(survivors))
@@ -90,6 +101,9 @@ func (e *Engine) postproc(qN int, cache *edgeCache, survivors []survivor, llb *p
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		refill()
 		// Cheap passes first: lazy UB pruning of Lub members and the No-EM
 		// admission test (Lemma 7). Restart the scan after any mutation so
@@ -140,7 +154,7 @@ func (e *Engine) postproc(qN int, cache *edgeCache, survivors []survivor, llb *p
 		}
 		if len(pending) == 1 {
 			sid := pending[0]
-			apply(sid, e.verify(qN, cache, e.repo.Set(sid), theta))
+			apply(sid, verifyGid(sid))
 			continue
 		}
 		// Parallel verification with a shared, live θlb: results are applied
@@ -156,7 +170,7 @@ func (e *Engine) postproc(qN int, cache *edgeCache, survivors []survivor, llb *p
 			wg.Add(1)
 			go func(sid int) {
 				defer wg.Done()
-				ch <- vres{sid: sid, res: e.verify(qN, cache, e.repo.Set(sid), theta)}
+				ch <- vres{sid: sid, res: verifyGid(sid)}
 			}(sid)
 		}
 		go func() { wg.Wait(); close(ch) }()
@@ -186,5 +200,5 @@ func (e *Engine) postproc(qN int, cache *edgeCache, survivors []survivor, llb *p
 		}
 		return out[i].SetID < out[j].SetID
 	})
-	return out
+	return out, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/pqueue"
 )
 
@@ -11,6 +13,10 @@ import (
 // wrongly eliminated (see matching.BoundEps for the same guard inside the
 // Hungarian solver).
 const pruneEps = 1e-9
+
+// ctxCheckEvery is the refinement loop's cancellation poll cadence in
+// stream tuples (a power of two; the check is one atomic-ish ctx.Err call).
+const ctxCheckEvery = 1024
 
 // candState is the per-candidate refinement state: the incremental greedy
 // lower bound (iLB, Lemma 5) and the corrected incremental upper bound
@@ -45,7 +51,14 @@ type survivor struct {
 
 // refinePartition runs Algorithm 1 over partition p's CSR inverted index.
 // All partitions consume the same materialized tuple slice and share the
-// global θlb through theta.
+// global θlb through theta — across segments too, when the engine is one
+// segment of a Group.
+//
+// dead is the segment's optional tombstone bitset, indexed by the engine's
+// repository-local set IDs: a tombstoned set is discarded at first sight,
+// before it is counted as a candidate or contributes any bound. The loop
+// polls ctx every ctxCheckEvery tuples and returns early (with partial,
+// discarded state) once the search is canceled.
 //
 // The per-tuple/per-posting inner loop is free of map lookups and string
 // comparisons: postings are flat int32 arenas, candidate state is a dense
@@ -53,7 +66,7 @@ type survivor struct {
 // element in the qBits arena, and matched candidate tokens are one bit per
 // candidate-local element position (carried by the posting entry) in the
 // cBits arena.
-func (e *Engine) refinePartition(qN int, tuples []streamTuple, p int, theta *atomicMax, stats *Stats) []survivor {
+func (e *Engine) refinePartition(ctx context.Context, qN int, tuples []streamTuple, p int, theta *atomicMax, stats *Stats, dead []uint64) []survivor {
 	opts := e.opts
 	part := e.parts[p]
 	inv := e.invs[p]
@@ -82,6 +95,9 @@ func (e *Engine) refinePartition(qN int, tuples []streamTuple, p int, theta *ato
 	}
 
 	for ti := range tuples {
+		if ti&(ctxCheckEvery-1) == ctxCheckEvery-1 && ctx.Err() != nil {
+			return nil
+		}
 		tup := &tuples[ti]
 		s := tup.sim
 		sids, poss := inv.Postings(tup.tokenID)
@@ -90,6 +106,13 @@ func (e *Engine) refinePartition(qN int, tuples []streamTuple, p int, theta *ato
 			st := &states[local]
 			if !st.seen {
 				st.seen = true
+				// Tombstone-aware candidate creation: a deleted set is
+				// discarded before it counts as a candidate or touches any
+				// top-k structure.
+				if dead != nil && dead[sid>>6]&(1<<(uint(sid)&63)) != 0 {
+					st.pruned = true
+					continue
+				}
 				stats.Candidates++
 				slots := int32(qN)
 				if c := e.card[sid]; c < slots {

@@ -74,6 +74,11 @@ func (v Verifier) String() string {
 	return "hungarian"
 }
 
+// WithDefaults returns the options with zero values replaced by the
+// documented defaults — what NewEngine applies internally, exported for
+// callers (like the segment manager) that need the effective values.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.K <= 0 {
 		o.K = 10
@@ -131,6 +136,10 @@ type Stats struct {
 	StreamTuples int
 	// HungarianIterations sums augmentation phases across all matchings.
 	HungarianIterations int
+	// Segments is the number of repository segments the search snapshot
+	// spanned (1 for a plain single-engine search). Set once per search,
+	// not aggregated.
+	Segments int
 
 	// RefineTime and PostprocTime are wall-clock phase durations.
 	RefineTime   time.Duration

@@ -1,0 +1,164 @@
+package index
+
+import (
+	"sync"
+
+	"repro/internal/sets"
+	"repro/internal/sim"
+)
+
+// Syncer marks a NeighborSource that can follow a growing shared dictionary
+// (DESIGN.md §4). The segment manager calls Sync after interning a
+// mutation's tokens and before publishing the snapshot that contains them,
+// so every published segment is fully covered by the source. Sources
+// without Sync are static: a segmented engine built over one rejects
+// inserts (deletes need no index support).
+type Syncer interface {
+	Sync()
+}
+
+// QueryVocabBound marks a NeighborSource whose retrieval requires the query
+// element itself to be an indexed token — vector indexes, where an
+// unindexed element has no vector to search with. On such sources the
+// segmented engine skips probes for query tokens surviving only in deleted
+// sets, matching an index built from scratch on the live collection.
+// Function-scan sources can score any query string against the vocabulary
+// and are probed unconditionally.
+type QueryVocabBound interface {
+	QueryVocabBound()
+}
+
+// DynamicFunc is the dynamic counterpart of FuncIndex: threshold retrieval
+// for an arbitrary similarity function over a shared, growing dictionary.
+// Every call scans the dictionary's current snapshot, so freshly interned
+// tokens are retrievable immediately; neighbor IDs are global dictionary
+// IDs. Safe for concurrent use.
+type DynamicFunc struct {
+	dict *sets.Dictionary
+	fn   sim.Func
+}
+
+// NewDynamicFunc builds a dynamic threshold-scan source over dict.
+func NewDynamicFunc(dict *sets.Dictionary, fn sim.Func) *DynamicFunc {
+	return &DynamicFunc{dict: dict, fn: fn}
+}
+
+// Neighbors implements NeighborSource over the dictionary's current
+// snapshot.
+func (f *DynamicFunc) Neighbors(q string, alpha float64) []Neighbor {
+	var out []Neighbor
+	for vi, tok := range f.dict.Snapshot() {
+		if tok == q {
+			continue
+		}
+		if s := f.fn.Sim(q, tok); s >= alpha {
+			out = append(out, Neighbor{Token: tok, Sim: s, ID: int32(vi)})
+		}
+	}
+	sortNeighbors(out)
+	return out
+}
+
+// Sync implements Syncer; scanning the live dictionary needs no
+// materialized state, so it is a no-op.
+func (f *DynamicFunc) Sync() {}
+
+// DynamicExact is the dynamic counterpart of Exact: brute-force cosine
+// retrieval over embedding vectors that extends itself as the shared
+// dictionary grows. Vectors of newly interned tokens are fetched and
+// normalized by Sync (or lazily on retrieval); all internal arrays are
+// append-only, so retrieval copies slice headers under a short read lock
+// and scans outside it. Safe for concurrent use.
+type DynamicExact struct {
+	dict  *sets.Dictionary
+	vec   func(string) ([]float32, bool)
+	batch int
+
+	mu      sync.RWMutex
+	synced  int // dictionary prefix length already consumed
+	tokens  []string
+	ids     []int32 // dictionary ID of each indexed (covered) token
+	vecs    [][]float32
+	byToken map[string]int
+}
+
+// NewDynamicExact builds a dynamic exact vector source over dict, covering
+// every current and future dictionary token for which vec returns a vector.
+func NewDynamicExact(dict *sets.Dictionary, vec func(string) ([]float32, bool)) *DynamicExact {
+	e := &DynamicExact{dict: dict, vec: vec, batch: 100, byToken: make(map[string]int)}
+	e.Sync()
+	return e
+}
+
+// QueryVocabBound marks the index as requiring indexed query elements
+// (cosine retrieval needs the query element's vector).
+func (e *DynamicExact) QueryVocabBound() {}
+
+// Sync implements Syncer: it indexes dictionary tokens interned since the
+// last call. Cheap when already current (one read-locked length check).
+func (e *DynamicExact) Sync() {
+	n := e.dict.Size()
+	e.mu.RLock()
+	behind := e.synced < n
+	e.mu.RUnlock()
+	if !behind {
+		return
+	}
+	vocab := e.dict.Prefix(n)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.synced >= n {
+		return // another Sync got here first
+	}
+	for vi := e.synced; vi < n; vi++ {
+		tok := vocab[vi]
+		v, ok := e.vec(tok)
+		if !ok {
+			continue
+		}
+		e.byToken[tok] = len(e.tokens)
+		e.tokens = append(e.tokens, tok)
+		e.ids = append(e.ids, int32(vi))
+		e.vecs = append(e.vecs, normalizeCopy(v))
+	}
+	e.synced = n
+}
+
+// Len returns the number of indexed (covered) tokens.
+func (e *DynamicExact) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.tokens)
+}
+
+// Neighbors implements NeighborSource. Like Exact it scans in batches (the
+// paper queries Faiss in batches of 100); the scan runs on an immutable
+// prefix view captured under the read lock, never blocking writers.
+func (e *DynamicExact) Neighbors(q string, alpha float64) []Neighbor {
+	e.Sync()
+	e.mu.RLock()
+	qi, ok := e.byToken[q]
+	tokens, ids, vecs := e.tokens, e.ids, e.vecs
+	e.mu.RUnlock()
+	if !ok {
+		return nil // out-of-vocabulary query element: no semantic neighbors
+	}
+	qv := vecs[qi]
+	var out []Neighbor
+	for start := 0; start < len(tokens); start += e.batch {
+		end := start + e.batch
+		if end > len(tokens) {
+			end = len(tokens)
+		}
+		for i := start; i < end; i++ {
+			if i == qi {
+				continue
+			}
+			if s := sim.Dot(qv, vecs[i]); s >= alpha {
+				out = append(out, Neighbor{Token: tokens[i], Sim: s, ID: ids[i]})
+			}
+		}
+	}
+	sortNeighbors(out)
+	return out
+}

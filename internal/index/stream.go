@@ -66,6 +66,15 @@ func NewStream(query []string, src NeighborSource, alpha float64) *Stream {
 // in no set), so every emitted tuple — identity tuples included — carries
 // its token ID. A nil qids marks all identity tuples unresolved (-1).
 func NewStreamInterned(query []string, qids []int32, src NeighborSource, alpha float64) *Stream {
+	return NewStreamMasked(query, qids, src, alpha, nil)
+}
+
+// NewStreamMasked is NewStreamInterned with a probe mask: query elements
+// with skip[i] set are never probed against the index and contribute only
+// their identity tuple — how a segmented search treats query elements whose
+// token survives only in deleted sets, so results match an engine whose
+// index never saw those sets (DESIGN.md §4). A nil skip probes everything.
+func NewStreamMasked(query []string, qids []int32, src NeighborSource, alpha float64, skip []bool) *Stream {
 	s := &Stream{
 		query: query,
 		qids:  qids,
@@ -74,6 +83,9 @@ func NewStreamInterned(query []string, qids []int32, src NeighborSource, alpha f
 		heap:  pqueue.NewHeap[streamHead](headLess),
 	}
 	for i, q := range query {
+		if skip != nil && skip[i] {
+			continue
+		}
 		s.lists[i] = src.Neighbors(q, alpha)
 		s.retrieved += len(s.lists[i])
 		if len(s.lists[i]) > 0 {

@@ -79,14 +79,6 @@ func NewDiscovery(repo *sets.Repository, src index.NeighborSource, opts Options)
 	}
 }
 
-// NewDiscoveryWithEngine wraps an existing engine (avoiding a second index
-// build when the caller already searches the repository); opts must carry
-// the same Alpha the engine was built with so Mapping uses matching edges.
-func NewDiscoveryWithEngine(repo *sets.Repository, src index.NeighborSource, eng *core.Engine, opts Options) *Discovery {
-	opts = opts.withDefaults()
-	return &Discovery{repo: repo, src: src, eng: eng, opts: opts}
-}
-
 // Run searches every workload query and returns the per-query matches,
 // indexed like the workload. Queries run concurrently up to
 // QueryParallelism; the engine is safe for concurrent searches.
@@ -133,8 +125,15 @@ func (d *Discovery) Mapping(query []string, setID int) ([]Pair, error) {
 	if setID < 0 || setID >= d.repo.Len() {
 		return nil, fmt.Errorf("join: set %d out of range [0,%d)", setID, d.repo.Len())
 	}
+	return MappingBetween(d.src, d.opts.Alpha, query, d.repo.Set(setID).Elements), nil
+}
+
+// MappingBetween computes the optimal one-to-one element mapping between a
+// query and an explicit target set, using src for the α-edges — the core of
+// Mapping, usable without a Discovery (the segmented public engine resolves
+// its sets by handle and calls this directly).
+func MappingBetween(src index.NeighborSource, alpha float64, query, target []string) []Pair {
 	query = dedup(query)
-	target := d.repo.Set(setID).Elements
 
 	// Edges from the shared neighbor source plus identity matches.
 	inTarget := make(map[string]int, len(target))
@@ -149,7 +148,7 @@ func (d *Discovery) Mapping(query []string, setID int) ([]Pair, error) {
 			w[i][j] = 1
 			any = true
 		}
-		for _, n := range d.src.Neighbors(q, d.opts.Alpha) {
+		for _, n := range src.Neighbors(q, alpha) {
 			if j, ok := inTarget[n.Token]; ok && n.Token != q {
 				w[i][j] = n.Sim
 				any = true
@@ -157,7 +156,7 @@ func (d *Discovery) Mapping(query []string, setID int) ([]Pair, error) {
 		}
 	}
 	if !any {
-		return nil, nil
+		return nil
 	}
 	res := matching.Hungarian(w)
 	var pairs []Pair
@@ -173,7 +172,7 @@ func (d *Discovery) Mapping(query []string, setID int) ([]Pair, error) {
 		}
 		return pairs[a].QueryElement < pairs[b].QueryElement
 	})
-	return pairs, nil
+	return pairs
 }
 
 func dedup(in []string) []string {

@@ -1,0 +1,675 @@
+// Package segment turns the build-once Koios engine into a mutable
+// collection served from immutable segments (DESIGN.md §4): an LSM-style
+// manager owns a shared append-only token dictionary, a small mutable
+// memtable of recently written sets, a list of sealed immutable segments
+// (each a sets.Repository + core.Engine with its own CSR postings), and
+// per-segment tombstone bitsets for deletes. Writes go through one writer
+// mutex; reads never take it — every mutation publishes a fresh immutable
+// snapshot through an atomic pointer, and Search runs the whole
+// stream/refinement/post-processing pipeline against the snapshot it
+// loaded, so searches are wait-free with respect to writers and observe a
+// consistent collection state.
+//
+// The memtable seals into a segment once it reaches SealThreshold sets;
+// background compaction merges all sealed segments into one big CSR (and
+// drops tombstoned rows) once more than MaxSegments have accumulated.
+// Set names are the external keys: inserting an existing name replaces the
+// old version (a tombstone shadows it), exactly like an LSM overwrite.
+package segment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/sets"
+)
+
+// ErrImmutable is returned by Insert when the manager's similarity index
+// cannot follow a growing dictionary (no index.Syncer support).
+var ErrImmutable = errors.New("segment: similarity index is static; engine does not support inserts")
+
+// SourceBuilder constructs the shared similarity index over the manager's
+// dictionary, after the seed collection has been interned. Sources
+// implementing index.Syncer make the collection insertable; static sources
+// leave it search- and delete-only.
+type SourceBuilder func(dict *sets.Dictionary) index.NeighborSource
+
+// Config tunes the segment lifecycle.
+type Config struct {
+	// SealThreshold is the memtable size (in sets) at which it seals into
+	// an immutable segment. Default 256.
+	SealThreshold int
+	// MaxSegments is the number of sealed segments tolerated before a
+	// compaction merges them into one. Default 4.
+	MaxSegments int
+	// ForegroundCompaction runs compactions synchronously inside the
+	// mutating call instead of on a background goroutine — deterministic
+	// segment layouts for tests and benchmarks.
+	ForegroundCompaction bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SealThreshold <= 0 {
+		c.SealThreshold = 256
+	}
+	if c.MaxSegments <= 0 {
+		c.MaxSegments = 4
+	}
+	return c
+}
+
+// SetRecord is one live set of the collection as the manager identifies
+// it: ID is the stable insertion handle (never reused), Name the external
+// key.
+type SetRecord struct {
+	ID       int64
+	Name     string
+	Elements []string
+}
+
+// Result is one entry of a manager search, best first.
+type Result struct {
+	// ID is the set's stable handle: its position in the seed collection,
+	// or the value Insert returned.
+	ID int64
+	// Name is the set's external key.
+	Name string
+	// Score is the semantic overlap (exact when Verified).
+	Score float64
+	// Verified reports whether Score is exact.
+	Verified bool
+}
+
+// seg is one immutable segment: a repository slice with its search engine
+// and the stable handle of each local row. deadMaster is the writer-owned
+// tombstone bitset (guarded by Manager.mu, never read by searches — they
+// see the clones published in snapshots); deadN counts its set bits.
+type seg struct {
+	repo       *sets.Repository
+	eng        *core.Engine
+	handles    []int64
+	deadMaster []uint64
+	deadN      int
+}
+
+func (s *seg) dead(local int) bool {
+	return s.deadMaster[local>>6]&(1<<(uint(local)&63)) != 0
+}
+
+func (s *seg) markDead(local int) {
+	s.deadMaster[local>>6] |= 1 << (uint(local) & 63)
+	s.deadN++
+}
+
+// snapshot is the immutable state one search runs against: the sealed
+// segments (oldest first), the memtable's segment view (last, when the
+// memtable is non-empty), a tombstone bitset clone per segment, and the
+// live-token bitset clone (tokens occurring in ≥ 1 live set — the search's
+// effective retrieval vocabulary).
+type snapshot struct {
+	segs []*seg
+	dead [][]uint64
+	live []uint64
+}
+
+// loc addresses a live set: a memtable row index, or a (segment, local)
+// pair.
+type loc struct {
+	mem   bool
+	idx   int // memtable row when mem
+	seg   *seg
+	local int
+}
+
+// Manager owns the segmented collection.
+type Manager struct {
+	dict *sets.Dictionary
+	src  index.NeighborSource
+	dyn  index.Syncer // nil for static sources → inserts rejected
+	// probeLiveOnly mirrors index.QueryVocabBound: dead query tokens are
+	// not probed on vector-type sources (a from-scratch index would not
+	// cover them).
+	probeLiveOnly bool
+	opts          core.Options
+	cfg           Config
+
+	mu         sync.Mutex // writer lock; never held by Search
+	sealed     []*seg     // oldest first
+	mem        []sets.Set // memtable rows, insertion order
+	memHandles []int64
+	memSeg     *seg // searchable view of mem, rebuilt on every mutation
+	where      map[string]loc
+	nextHandle int64
+	live       int
+	// tokenRefs counts, per dictionary token ID, the live sets containing
+	// the token; liveBits mirrors "count > 0" as a bitset. Both grow with
+	// the dictionary and are guarded by mu; searches see the clone
+	// published in the snapshot. They realize the live-vocabulary
+	// semantics: a token whose last containing set is deleted drops out of
+	// retrieval, as if the indexes had been rebuilt without it.
+	tokenRefs []int32
+	liveBits  []uint64
+
+	compactMu  sync.Mutex // serializes whole compactions (never held by Search)
+	compacting atomic.Bool
+	snap       atomic.Pointer[snapshot]
+}
+
+// NewManager builds a manager over the seed collection. Seed sets keep
+// their positions as handles (handle i = seed index i, matching the
+// build-once engine's set IDs); empty names default to "set-<i>". When two
+// seed sets share a name the later one shadows the earlier, as a later
+// insert would.
+func NewManager(seed []sets.Set, build SourceBuilder, opts core.Options, cfg Config) *Manager {
+	m := &Manager{
+		dict:  sets.NewDictionary(),
+		opts:  opts,
+		cfg:   cfg.withDefaults(),
+		where: make(map[string]loc),
+	}
+	var repo *sets.Repository
+	if len(seed) > 0 {
+		repo = sets.NewSegment(m.dict, seed)
+	}
+	m.src = build(m.dict)
+	m.dyn, _ = m.src.(index.Syncer)
+	_, m.probeLiveOnly = m.src.(index.QueryVocabBound)
+	if repo != nil {
+		s := &seg{
+			repo:       repo,
+			eng:        core.NewEngine(repo, m.src, m.opts),
+			handles:    make([]int64, repo.Len()),
+			deadMaster: make([]uint64, (repo.Len()+63)/64),
+		}
+		for i := 0; i < repo.Len(); i++ {
+			s.handles[i] = int64(i)
+			row := repo.Set(i)
+			if prev, ok := m.where[row.Name]; ok {
+				// Duplicate seed name: the later row shadows the earlier.
+				prev.seg.markDead(prev.local)
+				m.releaseLocked(prev.seg.repo.Set(prev.local).ElemIDs)
+				m.live--
+			}
+			m.where[row.Name] = loc{seg: s, local: i}
+			m.retainLocked(row.ElemIDs)
+			m.live++
+		}
+		m.sealed = append(m.sealed, s)
+	}
+	m.nextHandle = int64(len(seed))
+	m.publishLocked()
+	return m
+}
+
+// Mutable reports whether Insert is supported (the similarity index can
+// follow the growing dictionary). Delete works either way.
+func (m *Manager) Mutable() bool { return m.dyn != nil }
+
+// Source returns the shared similarity index.
+func (m *Manager) Source() index.NeighborSource { return m.src }
+
+// Options returns the manager's effective engine options.
+func (m *Manager) Options() core.Options { return m.opts }
+
+// Len returns the number of live sets.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live
+}
+
+// VocabSize returns the dictionary size — the distinct tokens ever
+// interned, including tokens only deleted sets used (the dictionary is
+// append-only; vocabulary garbage is reclaimed never, like an LSM's key
+// space).
+func (m *Manager) VocabSize() int { return m.dict.Size() }
+
+// Segments reports the current layout: sealed segment count, memtable
+// rows, and tombstoned (dead but not yet compacted) rows.
+func (m *Manager) Segments() (sealedSegs, memtableSets, tombstones int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.sealed {
+		tombstones += s.deadN
+	}
+	return len(m.sealed), len(m.mem), tombstones
+}
+
+// Insert adds a set (or replaces the live set of the same name) and
+// returns its stable handle. An empty name defaults to "set-<handle>".
+// The new set is searchable as soon as Insert returns.
+func (m *Manager) Insert(name string, elements []string) (int64, error) {
+	if m.dyn == nil {
+		return 0, ErrImmutable
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	handle := m.nextHandle
+	m.nextHandle++
+	if name == "" {
+		// Auto-assign "set-<handle>", stepping around any live set the
+		// user explicitly gave that name — an auto-name must create, never
+		// silently replace.
+		name = fmt.Sprintf("set-%d", handle)
+		for i := 1; ; i++ {
+			if _, taken := m.where[name]; !taken {
+				break
+			}
+			name = fmt.Sprintf("set-%d~%d", handle, i)
+		}
+	}
+	if old, ok := m.where[name]; ok {
+		m.removeLocked(name, old)
+	}
+	m.where[name] = loc{mem: true, idx: len(m.mem)}
+	m.mem = append(m.mem, sets.Set{Name: name, Elements: elements})
+	m.memHandles = append(m.memHandles, handle)
+	m.live++
+	m.rebuildMemLocked()
+	m.retainLocked(m.memSeg.repo.Set(len(m.mem) - 1).ElemIDs)
+	m.maybeSealLocked()
+	m.publishLocked()
+	m.maybeCompactLocked()
+	return handle, nil
+}
+
+// Delete tombstones the live set with the given name, reporting whether it
+// existed. The set disappears from searches as soon as Delete returns; its
+// storage is reclaimed by the next compaction.
+func (m *Manager) Delete(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.where[name]
+	if !ok {
+		return false
+	}
+	m.removeLocked(name, l)
+	delete(m.where, name)
+	if l.mem {
+		m.rebuildMemLocked()
+	}
+	m.publishLocked()
+	return true
+}
+
+// removeLocked detaches the set at l: memtable rows are spliced out,
+// sealed rows tombstoned. The caller owns m.where bookkeeping for name.
+func (m *Manager) removeLocked(name string, l loc) {
+	if l.mem {
+		// The memtable view (pre-splice) holds the row's interned IDs.
+		if m.memSeg != nil {
+			m.releaseLocked(m.memSeg.repo.Set(l.idx).ElemIDs)
+		}
+		m.mem = slices.Delete(m.mem, l.idx, l.idx+1)
+		m.memHandles = slices.Delete(m.memHandles, l.idx, l.idx+1)
+		// Reindex the shifted rows' locations.
+		for i := l.idx; i < len(m.mem); i++ {
+			m.where[m.mem[i].Name] = loc{mem: true, idx: i}
+		}
+	} else {
+		l.seg.markDead(l.local)
+		m.releaseLocked(l.seg.repo.Set(l.local).ElemIDs)
+	}
+	m.live--
+}
+
+// retainLocked bumps the live refcount of each token, growing the tables
+// to the current dictionary size as needed.
+func (m *Manager) retainLocked(ids []int32) {
+	for _, id := range ids {
+		if int(id) >= len(m.tokenRefs) {
+			n := m.dict.Size()
+			m.tokenRefs = append(m.tokenRefs, make([]int32, n-len(m.tokenRefs))...)
+			m.liveBits = append(m.liveBits, make([]uint64, (n+63)/64-len(m.liveBits))...)
+		}
+		m.tokenRefs[id]++
+		if m.tokenRefs[id] == 1 {
+			m.liveBits[id>>6] |= 1 << (uint(id) & 63)
+		}
+	}
+}
+
+// releaseLocked drops the live refcount of each token, clearing its live
+// bit when the last containing set goes away.
+func (m *Manager) releaseLocked(ids []int32) {
+	for _, id := range ids {
+		m.tokenRefs[id]--
+		if m.tokenRefs[id] == 0 {
+			m.liveBits[id>>6] &^= 1 << (uint(id) & 63)
+		}
+	}
+}
+
+// rebuildMemLocked rebuilds the memtable's searchable segment view. The
+// memtable is bounded by SealThreshold, so the rebuild is O(threshold)
+// work per mutation; sealed segments are never rebuilt. New tokens are
+// interned into the shared dictionary and the source is synced before the
+// view can be published, so every published snapshot is fully covered.
+func (m *Manager) rebuildMemLocked() {
+	if len(m.mem) == 0 {
+		m.memSeg = nil
+		return
+	}
+	repo := sets.NewSegment(m.dict, m.mem)
+	if m.dyn != nil {
+		m.dyn.Sync()
+	}
+	memOpts := m.opts
+	memOpts.Partitions = 1 // the memtable is small; partitioning it is pure overhead
+	m.memSeg = &seg{
+		repo:       repo,
+		eng:        core.NewEngine(repo, m.src, memOpts),
+		handles:    slices.Clone(m.memHandles),
+		deadMaster: make([]uint64, (repo.Len()+63)/64),
+	}
+}
+
+// maybeSealLocked freezes the memtable into a sealed segment once it
+// reaches the seal threshold. The just-rebuilt memtable view simply
+// becomes the sealed segment — its repository and engine are already
+// immutable.
+func (m *Manager) maybeSealLocked() {
+	if len(m.mem) < m.cfg.SealThreshold || m.memSeg == nil {
+		return
+	}
+	s := m.memSeg
+	for i, row := range m.mem {
+		m.where[row.Name] = loc{seg: s, local: i}
+	}
+	m.sealed = append(m.sealed, s)
+	m.mem = nil
+	m.memHandles = nil
+	m.memSeg = nil
+}
+
+// publishLocked installs a fresh immutable snapshot: the segment list plus
+// a clone of every tombstone bitset (copy-on-write per mutation), so
+// in-flight searches keep the exact state they loaded.
+func (m *Manager) publishLocked() {
+	sp := &snapshot{
+		segs: make([]*seg, 0, len(m.sealed)+1),
+		dead: make([][]uint64, 0, len(m.sealed)+1),
+	}
+	for _, s := range m.sealed {
+		sp.segs = append(sp.segs, s)
+		if s.deadN > 0 {
+			sp.dead = append(sp.dead, slices.Clone(s.deadMaster))
+		} else {
+			sp.dead = append(sp.dead, nil)
+		}
+	}
+	if m.memSeg != nil {
+		sp.segs = append(sp.segs, m.memSeg)
+		sp.dead = append(sp.dead, nil)
+	}
+	sp.live = slices.Clone(m.liveBits)
+	m.snap.Store(sp)
+}
+
+// maybeCompactLocked triggers a compaction when sealed segments piled up:
+// synchronously in foreground mode, else on a single background goroutine
+// (at most one runs at a time; a seal during compaction re-arms the check
+// on the next mutation).
+func (m *Manager) maybeCompactLocked() {
+	if len(m.sealed) <= m.cfg.MaxSegments {
+		return
+	}
+	if m.cfg.ForegroundCompaction {
+		m.compactLocked()
+		return
+	}
+	if m.compacting.CompareAndSwap(false, true) {
+		go func() {
+			defer m.compacting.Store(false)
+			m.Compact()
+		}()
+	}
+}
+
+// planEntry is one live row captured for compaction, remembered with its
+// source position so the install step can detect rows that were deleted or
+// replaced while the merged segment was being built.
+type planEntry struct {
+	name     string
+	handle   int64
+	srcSeg   *seg
+	srcLocal int
+}
+
+// Compact merges every sealed segment into one, dropping tombstoned rows
+// and preserving insertion order. Safe to call concurrently with searches
+// and mutations: the expensive CSR/engine build runs outside the writer
+// lock against immutable inputs, and the install step re-validates each
+// captured row — rows deleted or replaced mid-build enter the merged
+// segment already tombstoned, so no write is lost. Whole compactions are
+// serialized by compactMu.
+func (m *Manager) Compact() {
+	m.compactMu.Lock()
+	defer m.compactMu.Unlock()
+	m.mu.Lock()
+	srcs, plan, rows := m.captureLocked()
+	m.mu.Unlock()
+	if srcs == nil {
+		return
+	}
+	merged := m.buildMerged(plan, rows)
+	m.mu.Lock()
+	m.installLocked(srcs, plan, merged)
+	m.mu.Unlock()
+}
+
+// compactLocked is Compact for callers already holding m.mu (foreground
+// mode): the whole merge runs under the writer lock, blocking writers but
+// never searches.
+func (m *Manager) compactLocked() {
+	srcs, plan, rows := m.captureLocked()
+	if srcs == nil {
+		return
+	}
+	m.installLocked(srcs, plan, m.buildMerged(plan, rows))
+}
+
+// captureLocked snapshots the sealed segments and their live rows; nil
+// srcs means there is nothing to merge or reclaim.
+func (m *Manager) captureLocked() (srcs []*seg, plan []planEntry, rows []sets.Set) {
+	srcs = slices.Clone(m.sealed)
+	if len(srcs) == 0 || (len(srcs) == 1 && srcs[0].deadN == 0) {
+		return nil, nil, nil
+	}
+	for _, s := range srcs {
+		for local := 0; local < s.repo.Len(); local++ {
+			if s.dead(local) {
+				continue
+			}
+			row := s.repo.Set(local)
+			plan = append(plan, planEntry{name: row.Name, handle: s.handles[local], srcSeg: s, srcLocal: local})
+			rows = append(rows, sets.Set{Name: row.Name, Elements: row.Elements})
+		}
+	}
+	return srcs, plan, rows
+}
+
+// buildMerged builds the merged segment — the slow part. Interning is
+// idempotent (all tokens are already in the dictionary) and the inputs are
+// immutable, so no lock is needed. Returns nil when every captured row was
+// already dead.
+func (m *Manager) buildMerged(plan []planEntry, rows []sets.Set) *seg {
+	if len(rows) == 0 {
+		return nil
+	}
+	repo := sets.NewSegment(m.dict, rows)
+	merged := &seg{
+		repo:       repo,
+		eng:        core.NewEngine(repo, m.src, m.opts),
+		handles:    make([]int64, len(plan)),
+		deadMaster: make([]uint64, (len(plan)+63)/64),
+	}
+	for i, en := range plan {
+		merged.handles[i] = en.handle
+	}
+	return merged
+}
+
+// installLocked swaps the captured segments for the merged one. Seals that
+// happened during the build only append to m.sealed, so srcs must still be
+// its prefix; when it is not (a concurrent compaction won the race), the
+// merge is abandoned — nothing was mutated yet, so dropping it is safe.
+func (m *Manager) installLocked(srcs []*seg, plan []planEntry, merged *seg) {
+	if len(m.sealed) < len(srcs) {
+		return
+	}
+	for i, s := range srcs {
+		if m.sealed[i] != s {
+			return
+		}
+	}
+	for i, en := range plan {
+		if l, ok := m.where[en.name]; ok && !l.mem && l.seg == en.srcSeg && l.local == en.srcLocal {
+			m.where[en.name] = loc{seg: merged, local: i}
+		} else {
+			// Deleted or replaced while merging: born tombstoned.
+			merged.markDead(i)
+		}
+	}
+	rest := m.sealed[len(srcs):]
+	next := make([]*seg, 0, 1+len(rest))
+	if merged != nil {
+		next = append(next, merged)
+	}
+	m.sealed = append(next, rest...)
+	m.publishLocked()
+}
+
+// Flush seals the current memtable (if any) into a segment regardless of
+// size — deterministic layouts for tests.
+func (m *Manager) Flush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.mem) == 0 {
+		return
+	}
+	save := m.cfg.SealThreshold
+	m.cfg.SealThreshold = 0
+	m.maybeSealLocked()
+	m.cfg.SealThreshold = save
+	m.publishLocked()
+}
+
+// Search runs the top-k semantic overlap search against the current
+// snapshot. k ≤ 0 uses the manager's default; a different k rebuilds the
+// snapshot's engines for that k (k shapes pruning thresholds), sharing the
+// immutable repositories and source. Search never blocks on writers and
+// holds no locks: mutations committed after the snapshot load are simply
+// not observed.
+func (m *Manager) Search(ctx context.Context, query []string, k int) ([]Result, core.Stats, error) {
+	sp := m.snap.Load()
+	engines := make([]*core.Engine, len(sp.segs))
+	if k > 0 && k != m.opts.K {
+		opts := m.opts
+		opts.K = k
+		for i, s := range sp.segs {
+			engines[i] = core.NewEngine(s.repo, m.src, opts)
+		}
+	} else {
+		for i, s := range sp.segs {
+			engines[i] = s.eng
+		}
+	}
+	g := &core.Group{Engines: engines, Dead: sp.dead, LiveTokens: sp.live, ProbeLiveOnly: m.probeLiveOnly}
+	gres, stats, err := g.SearchContext(ctx, query)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]Result, len(gres))
+	for i, r := range gres {
+		s := sp.segs[r.Seg]
+		out[i] = Result{
+			ID:       s.handles[r.Local],
+			Name:     s.repo.Set(r.Local).Name,
+			Score:    r.Score,
+			Verified: r.Verified,
+		}
+	}
+	return out, stats, nil
+}
+
+// LiveSets returns a snapshot of all live sets in insertion order.
+func (m *Manager) LiveSets() []SetRecord {
+	sp := m.snap.Load()
+	var out []SetRecord
+	for si, s := range sp.segs {
+		var dead []uint64
+		if si < len(sp.dead) {
+			dead = sp.dead[si]
+		}
+		for local := 0; local < s.repo.Len(); local++ {
+			if dead != nil && dead[local>>6]&(1<<(uint(local)&63)) != 0 {
+				continue
+			}
+			row := s.repo.Set(local)
+			out = append(out, SetRecord{ID: s.handles[local], Name: row.Name, Elements: row.Elements})
+		}
+	}
+	return out
+}
+
+// SetByID returns the live set with the given handle.
+func (m *Manager) SetByID(id int64) (SetRecord, bool) {
+	sp := m.snap.Load()
+	for si, s := range sp.segs {
+		var dead []uint64
+		if si < len(sp.dead) {
+			dead = sp.dead[si]
+		}
+		for local, h := range s.handles {
+			if h != id {
+				continue
+			}
+			if dead != nil && dead[local>>6]&(1<<(uint(local)&63)) != 0 {
+				return SetRecord{}, false
+			}
+			row := s.repo.Set(local)
+			return SetRecord{ID: h, Name: row.Name, Elements: row.Elements}, true
+		}
+	}
+	return SetRecord{}, false
+}
+
+// SetByName returns the live set with the given name.
+func (m *Manager) SetByName(name string) (SetRecord, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.where[name]
+	if !ok {
+		return SetRecord{}, false
+	}
+	if l.mem {
+		return SetRecord{ID: m.memHandles[l.idx], Name: name, Elements: m.mem[l.idx].Elements}, true
+	}
+	row := l.seg.repo.Set(l.local)
+	return SetRecord{ID: l.seg.handles[l.local], Name: row.Name, Elements: row.Elements}, true
+}
+
+// Stats aggregates sets.Stats over the live collection.
+func (m *Manager) Stats() sets.Stats {
+	recs := m.LiveSets()
+	st := sets.Stats{NumSets: len(recs), UniqueElems: m.dict.Size()}
+	total := 0
+	for _, r := range recs {
+		n := len(r.Elements)
+		total += n
+		if n > st.MaxSize {
+			st.MaxSize = n
+		}
+	}
+	if len(recs) > 0 {
+		st.AvgSize = float64(total) / float64(len(recs))
+	}
+	return st
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 )
 
@@ -37,6 +38,35 @@ func (c *Client) Search(query []string, k int) (*SearchResponse, error) {
 func (c *Client) Overlap(a, b []string) (*OverlapResponse, error) {
 	var out OverlapResponse
 	if err := c.post("/v1/overlap", OverlapRequest{A: a, B: b}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Insert adds (or replaces) a set. An empty name lets the server assign
+// "set-<id>".
+func (c *Client) Insert(name string, elements []string) (*InsertResponse, error) {
+	var out InsertResponse
+	if err := c.post("/v1/sets", InsertRequest{Name: name, Elements: elements}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Delete removes the named set. The name is path-escaped, so names with
+// URL metacharacters round-trip through Insert and Delete.
+func (c *Client) Delete(name string) (*DeleteResponse, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/sets/"+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out DeleteResponse
+	if err := decodeResponse(resp, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -81,7 +111,7 @@ func (c *Client) post(path string, body, dst any) error {
 }
 
 func decodeResponse(resp *http.Response, dst any) error {
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var eb errorBody
 		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
 			return fmt.Errorf("server: %s (HTTP %d)", eb.Error, resp.StatusCode)

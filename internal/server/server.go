@@ -1,26 +1,30 @@
 // Package server exposes a Koios engine over HTTP with a JSON API — the
 // deployment shape a downstream user runs: load a dataset once, keep the
 // indexes warm, and answer top-k semantic overlap queries from many clients
-// concurrently (the engine is safe for concurrent searches).
+// concurrently while the collection keeps changing (the segmented engine
+// serves searches from immutable snapshots, so reads never block on
+// writes).
 //
 // Endpoints:
 //
-//	POST /v1/search   {"query": [...], "k": 5}          → top-k results + stats
-//	POST /v1/overlap  {"a": [...], "b": [...]}          → pairwise measures
-//	GET  /v1/info                                        → collection metadata
-//	GET  /healthz                                        → liveness
+//	POST   /v1/search        {"query": [...], "k": 5}          → top-k results + stats
+//	POST   /v1/overlap       {"a": [...], "b": [...]}          → pairwise measures
+//	POST   /v1/sets          {"name": "...", "elements": [..]} → insert/replace a set
+//	DELETE /v1/sets/{name}                                      → delete a set
+//	GET    /v1/info                                             → collection + segment metadata
+//	GET    /healthz                                             → liveness
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/matching"
-	"repro/internal/sets"
+	"repro/internal/segment"
 )
 
 // Config parameterizes the served engine.
@@ -36,7 +40,8 @@ type Config struct {
 	Alpha float64
 	// Partitions and Workers mirror core.Options.
 	Partitions, Workers int
-	// MaxQueryElements rejects oversized queries. Default 100000.
+	// MaxQueryElements rejects oversized queries and inserted sets.
+	// Default 100000.
 	MaxQueryElements int
 }
 
@@ -56,38 +61,36 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the HTTP handler set around one repository.
+// Server is the HTTP handler set around one segmented collection.
 type Server struct {
-	cfg    Config
-	repo   *sets.Repository
-	src    index.NeighborSource
-	engine *core.Engine
-	mux    *http.ServeMux
-	start  time.Time
+	cfg   Config
+	mgr   *segment.Manager
+	mux   *http.ServeMux
+	start time.Time
 }
 
-// New builds a server around one repository and similarity index. The
-// default-k engine is constructed eagerly; requests with a different k get
-// a per-request engine (cheap: the repository and similarity index are
-// shared, only partition posting lists are rebuilt).
-func New(repo *sets.Repository, src index.NeighborSource, cfg Config) *Server {
+// New builds a server around a segment manager (see NewManager in the
+// segment package for constructing one from a seed collection and source
+// builder). The manager's options should carry the same K/Alpha as cfg;
+// requests with a non-default k get per-request engines over the shared
+// immutable snapshot. The HTTP API guarantees exact scores, so the manager
+// must be built with core.Options.ExactScores — New panics otherwise
+// (a construction-time misconfiguration, not a runtime condition).
+func New(mgr *segment.Manager, cfg Config) *Server {
+	if !mgr.Options().ExactScores {
+		panic("server: segment manager must be built with core.Options.ExactScores — /v1/search promises exact scores")
+	}
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		repo:  repo,
-		src:   src,
+		mgr:   mgr,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
-	s.engine = core.NewEngine(repo, src, core.Options{
-		K:           cfg.K,
-		Alpha:       cfg.Alpha,
-		Partitions:  cfg.Partitions,
-		Workers:     cfg.Workers,
-		ExactScores: true,
-	})
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/overlap", s.handleOverlap)
+	s.mux.HandleFunc("POST /v1/sets", s.handleInsert)
+	s.mux.HandleFunc("DELETE /v1/sets/{name}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -127,6 +130,7 @@ type SearchStats struct {
 	EMEarly      int   `json:"em_early"`
 	EMFull       int   `json:"em_full"`
 	StreamTuples int   `json:"stream_tuples"`
+	Segments     int   `json:"segments"`
 	RefineUS     int64 `json:"refine_us"`
 	PostprocUS   int64 `json:"postproc_us"`
 	MemoryBytes  int64 `json:"memory_bytes"`
@@ -154,20 +158,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	eng := s.engine
-	if k != s.cfg.K {
-		// k shapes the pruning thresholds, so a non-default k needs its own
-		// engine; index structures are shared through repo/src, so this is
-		// cheap (partition layout + posting lists).
-		eng = core.NewEngine(s.repo, s.src, core.Options{
-			K:           k,
-			Alpha:       s.cfg.Alpha,
-			Partitions:  s.cfg.Partitions,
-			Workers:     s.cfg.Workers,
-			ExactScores: true,
-		})
+	// The search honors the request context: a client that hangs up stops
+	// the refinement/post-processing loops at their next checkpoint.
+	results, stats, err := s.mgr.Search(r.Context(), req.Query, k)
+	if err != nil {
+		// The client is gone; nothing useful can be written. 499 in the
+		// nginx tradition, for any middleware that still logs the status.
+		w.WriteHeader(499)
+		return
 	}
-	results, stats := eng.Search(req.Query)
 	resp := SearchResponse{
 		Results: make([]SearchResult, len(results)),
 		Stats: SearchStats{
@@ -177,6 +176,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			EMEarly:      stats.EMEarly,
 			EMFull:       stats.EMFull,
 			StreamTuples: stats.StreamTuples,
+			Segments:     stats.Segments,
 			RefineUS:     stats.RefineTime.Microseconds(),
 			PostprocUS:   stats.PostprocTime.Microseconds(),
 			MemoryBytes:  stats.TotalBytes(),
@@ -184,13 +184,71 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, res := range results {
 		resp.Results[i] = SearchResult{
-			SetID:    res.SetID,
-			SetName:  s.repo.Set(res.SetID).Name,
+			SetID:    int(res.ID),
+			SetName:  res.Name,
 			Score:    res.Score,
 			Verified: res.Verified,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// InsertRequest is the body of POST /v1/sets.
+type InsertRequest struct {
+	// Name is the set's external key; inserting an existing name replaces
+	// the old set. Empty means an auto-assigned "set-<id>" name.
+	Name     string   `json:"name,omitempty"`
+	Elements []string `json:"elements"`
+}
+
+// InsertResponse reports the stored set.
+type InsertResponse struct {
+	SetID int `json:"set_id"`
+	Sets  int `json:"sets"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if len(req.Elements) == 0 {
+		httpError(w, http.StatusBadRequest, "elements must not be empty")
+		return
+	}
+	if len(req.Elements) > s.cfg.MaxQueryElements {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("set has %d elements, limit %d", len(req.Elements), s.cfg.MaxQueryElements))
+		return
+	}
+	id, err := s.mgr.Insert(req.Name, req.Elements)
+	if err != nil {
+		if errors.Is(err, segment.ErrImmutable) {
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, InsertResponse{SetID: int(id), Sets: s.mgr.Len()})
+}
+
+// DeleteResponse reports a completed deletion.
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+	Sets    int  `json:"sets"`
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "set name missing")
+		return
+	}
+	if !s.mgr.Delete(name) {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no live set named %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: true, Sets: s.mgr.Len()})
 }
 
 // OverlapRequest is the body of POST /v1/overlap.
@@ -219,7 +277,7 @@ func (s *Server) handleOverlap(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "set too large")
 		return
 	}
-	sem, greedy, vanilla := pairwise(req.A, req.B, s.src, s.cfg.Alpha)
+	sem, greedy, vanilla := pairwise(req.A, req.B, s.mgr.Source(), s.cfg.Alpha)
 	writeJSON(w, http.StatusOK, OverlapResponse{Semantic: sem, Vanilla: vanilla, Greedy: greedy})
 }
 
@@ -259,17 +317,29 @@ type InfoResponse struct {
 	K          int     `json:"default_k"`
 	Alpha      float64 `json:"alpha"`
 	Partitions int     `json:"partitions"`
-	UptimeSec  float64 `json:"uptime_sec"`
+	// Segments/MemtableSets/Tombstones describe the segment layout: sealed
+	// immutable segments, buffered writes not yet sealed, and deleted rows
+	// awaiting compaction.
+	Segments     int     `json:"segments"`
+	MemtableSets int     `json:"memtable_sets"`
+	Tombstones   int     `json:"tombstones"`
+	Mutable      bool    `json:"mutable"`
+	UptimeSec    float64 `json:"uptime_sec"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sealed, memSets, tombstones := s.mgr.Segments()
 	writeJSON(w, http.StatusOK, InfoResponse{
-		Sets:       s.repo.Len(),
-		Vocabulary: len(s.repo.Vocabulary()),
-		K:          s.cfg.K,
-		Alpha:      s.cfg.Alpha,
-		Partitions: s.cfg.Partitions,
-		UptimeSec:  time.Since(s.start).Seconds(),
+		Sets:         s.mgr.Len(),
+		Vocabulary:   s.mgr.VocabSize(),
+		K:            s.cfg.K,
+		Alpha:        s.cfg.Alpha,
+		Partitions:   s.cfg.Partitions,
+		Segments:     sealed,
+		MemtableSets: memSets,
+		Tombstones:   tombstones,
+		Mutable:      s.mgr.Mutable(),
+		UptimeSec:    time.Since(s.start).Seconds(),
 	})
 }
 

@@ -10,16 +10,31 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/index"
+	"repro/internal/segment"
 	"repro/internal/sets"
 )
+
+func managerFor(ds *datagen.Dataset, cfg Config) *segment.Manager {
+	cfg = cfg.withDefaults()
+	return segment.NewManager(ds.Repo.Sets(), func(dict *sets.Dictionary) index.NeighborSource {
+		return index.NewDynamicExact(dict, ds.Model.Vector)
+	}, core.Options{
+		K:           cfg.K,
+		Alpha:       cfg.Alpha,
+		Partitions:  cfg.Partitions,
+		Workers:     cfg.Workers,
+		ExactScores: true,
+	}.WithDefaults(), segment.Config{})
+}
 
 func testServer(t *testing.T) (*httptest.Server, *datagen.Dataset) {
 	t.Helper()
 	ds := datagen.GenerateDefault(datagen.Twitter, 0.02)
-	src := index.NewExact(ds.Repo.Vocabulary(), ds.Model.Vector)
-	srv := New(ds.Repo, src, Config{K: 5, Alpha: 0.8, Partitions: 2, Workers: 2})
+	cfg := Config{K: 5, Alpha: 0.8, Partitions: 2, Workers: 2}
+	srv := New(managerFor(ds, cfg), cfg)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts, ds
@@ -233,13 +248,121 @@ func TestClientAgainstDeadServer(t *testing.T) {
 
 func TestMaxQueryElements(t *testing.T) {
 	ds := datagen.GenerateDefault(datagen.Twitter, 0.02)
-	src := index.NewExact(ds.Repo.Vocabulary(), ds.Model.Vector)
-	srv := New(ds.Repo, src, Config{K: 3, Alpha: 0.8, MaxQueryElements: 4})
+	cfg := Config{K: 3, Alpha: 0.8, MaxQueryElements: 4}
+	srv := New(managerFor(ds, cfg), cfg)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	c := NewClient(ts.URL, nil)
 	if _, err := c.Search([]string{"a", "b", "c", "d", "e"}, 0); err == nil {
 		t.Fatal("oversized query accepted")
+	}
+	if _, err := c.Insert("big", []string{"a", "b", "c", "d", "e"}); err == nil {
+		t.Fatal("oversized insert accepted")
+	}
+}
+
+func TestMutationEndpoints(t *testing.T) {
+	ts, ds := testServer(t)
+	c := NewClient(ts.URL, nil)
+
+	// Insert a brand-new set built from existing vocabulary plus new
+	// tokens; it must be immediately searchable and win its self query.
+	elems := append([]string{"zz-brand-new-1", "zz-brand-new-2"}, ds.Repo.Set(0).Elements...)
+	ins, err := c.Insert("fresh", elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.SetID != ds.Repo.Len() {
+		t.Fatalf("insert handle = %d, want %d", ins.SetID, ds.Repo.Len())
+	}
+	if ins.Sets != ds.Repo.Len()+1 {
+		t.Fatalf("sets after insert = %d", ins.Sets)
+	}
+	resp, err := c.Search(elems, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 || resp.Results[0].SetName != "fresh" {
+		t.Fatalf("inserted set not on top of its self query: %+v", resp.Results)
+	}
+	if resp.Stats.Segments < 2 {
+		t.Fatalf("search after insert spanned %d segments, want ≥ 2", resp.Stats.Segments)
+	}
+
+	// Replace: same name, different elements.
+	if _, err := c.Insert("fresh", []string{"only-one-token"}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Sets != ds.Repo.Len()+1 {
+		t.Fatalf("replace changed live count: %+v", info)
+	}
+	if !info.Mutable || info.Segments < 1 {
+		t.Fatalf("info missing segment metadata: %+v", info)
+	}
+
+	// Delete it; a second delete 404s.
+	del, err := c.Delete("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !del.Deleted || del.Sets != ds.Repo.Len() {
+		t.Fatalf("delete = %+v", del)
+	}
+	if _, err := c.Delete("fresh"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	resp, err = c.Search([]string{"only-one-token"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resp.Results {
+		if r.SetName == "fresh" {
+			t.Fatal("deleted set still searchable")
+		}
+	}
+
+	// Validation: empty elements rejected.
+	if _, err := c.Insert("empty", nil); err == nil {
+		t.Fatal("empty insert accepted")
+	}
+
+	// Names with URL metacharacters round-trip through insert and delete.
+	weird := "100% weird/name#1"
+	if _, err := c.Insert(weird, []string{"tok"}); err != nil {
+		t.Fatal(err)
+	}
+	if del, err := c.Delete(weird); err != nil || !del.Deleted {
+		t.Fatalf("escaped delete = %+v, %v", del, err)
+	}
+}
+
+func TestDeleteSeedSet(t *testing.T) {
+	ts, ds := testServer(t)
+	c := NewClient(ts.URL, nil)
+	name := ds.Repo.Set(0).Name
+	query := ds.Repo.Set(0).Elements
+	if _, err := c.Delete(name); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Search(query, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resp.Results {
+		if r.SetName == name {
+			t.Fatal("tombstoned seed set still in results")
+		}
+	}
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Tombstones != 1 || info.Sets != ds.Repo.Len()-1 {
+		t.Fatalf("info after seed delete: %+v", info)
 	}
 }
 

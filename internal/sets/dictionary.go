@@ -1,0 +1,85 @@
+package sets
+
+import "sync"
+
+// Dictionary is the shared, append-only token dictionary of a segmented
+// repository (DESIGN.md §4): every distinct element across all segments is
+// interned exactly once as a dense int32 token ID in first-intern order.
+// Token IDs are never reused or reassigned, so a segment built when the
+// dictionary held n tokens stays valid forever — tokens interned later
+// simply have IDs ≥ n, which that segment's CSR treats as out of
+// vocabulary.
+//
+// A Dictionary is safe for concurrent use. Reads (Lookup, Token, Prefix)
+// take the read lock only long enough to copy a slice header or probe the
+// map; the returned views are immutable because the vocabulary's backing
+// array is append-only — a writer appends at positions ≥ n while readers
+// only index positions < n of a header captured under the lock.
+type Dictionary struct {
+	mu    sync.RWMutex
+	vocab []string
+	ids   map[string]int32
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]int32)}
+}
+
+// Intern returns the ID of tok, assigning the next dense ID when tok is new.
+func (d *Dictionary) Intern(tok string) int32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[tok]; ok {
+		return id
+	}
+	id := int32(len(d.vocab))
+	d.ids[tok] = id
+	d.vocab = append(d.vocab, tok)
+	return id
+}
+
+// Lookup returns the ID of tok, or -1 when tok was never interned.
+func (d *Dictionary) Lookup(tok string) int32 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id, ok := d.ids[tok]; ok {
+		return id
+	}
+	return -1
+}
+
+// Size returns the number of interned tokens (the current token ID space).
+func (d *Dictionary) Size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.vocab)
+}
+
+// Token returns the token string for a valid token ID.
+func (d *Dictionary) Token(id int32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.vocab[id]
+}
+
+// Prefix returns the first n tokens in ID order — the immutable vocabulary
+// view of a segment built when the dictionary held n tokens. Callers must
+// not mutate the result. n is clamped to the current size.
+func (d *Dictionary) Prefix(n int) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if n > len(d.vocab) {
+		n = len(d.vocab)
+	}
+	return d.vocab[:n:n]
+}
+
+// Snapshot returns the full current vocabulary in ID order. Callers must
+// not mutate the result; the view is immutable even under concurrent
+// Intern calls (append-only backing array).
+func (d *Dictionary) Snapshot() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.vocab[:len(d.vocab):len(d.vocab)]
+}

@@ -24,22 +24,35 @@ type Set struct {
 	ElemIDs []int32
 }
 
-// Repository is an immutable collection of sets plus derived metadata: the
-// vocabulary dictionary interning every distinct element as a dense int32
-// token ID in first-seen order.
+// Repository is an immutable collection of sets plus derived metadata. Its
+// token IDs come from a Dictionary — private to the repository when built
+// with NewRepository, or shared across many repositories when built with
+// NewSegment, which is how the segmented engine (DESIGN.md §4) layers
+// per-segment vocabulary deltas over one base dictionary: each segment
+// records the dictionary size at build time (vocabN) and treats later
+// tokens as out of vocabulary, while IDs below vocabN are globally stable.
 type Repository struct {
-	sets    []Set
-	vocab   []string
-	tokenID map[string]int32
+	sets   []Set
+	dict   *Dictionary
+	vocabN int
 }
 
-// NewRepository builds a repository from raw sets: elements are
-// de-duplicated (preserving first occurrence), IDs are assigned by position,
-// and every distinct element is interned into the vocabulary dictionary.
-// Empty sets are kept (they can never be candidates, which exercises a
-// pruning edge case).
+// NewRepository builds a repository from raw sets over a fresh, private
+// dictionary: elements are de-duplicated (preserving first occurrence), IDs
+// are assigned by position, and every distinct element is interned in
+// first-seen order. Empty sets are kept (they can never be candidates,
+// which exercises a pruning edge case).
 func NewRepository(raw []Set) *Repository {
-	r := &Repository{sets: make([]Set, len(raw)), tokenID: make(map[string]int32)}
+	return NewSegment(NewDictionary(), raw)
+}
+
+// NewSegment builds a repository as one segment of a segmented collection:
+// elements are interned into the shared dictionary (reusing IDs of tokens
+// other segments already interned), and the dictionary size after interning
+// becomes the segment's vocabulary horizon VocabSize. Set IDs are
+// segment-local positions.
+func NewSegment(dict *Dictionary, raw []Set) *Repository {
+	r := &Repository{sets: make([]Set, len(raw)), dict: dict}
 	for i, s := range raw {
 		elems := dedup(s.Elements)
 		name := s.Name
@@ -48,16 +61,11 @@ func NewRepository(raw []Set) *Repository {
 		}
 		ids := make([]int32, len(elems))
 		for j, e := range elems {
-			id, ok := r.tokenID[e]
-			if !ok {
-				id = int32(len(r.vocab))
-				r.tokenID[e] = id
-				r.vocab = append(r.vocab, e)
-			}
-			ids[j] = id
+			ids[j] = dict.Intern(e)
 		}
 		r.sets[i] = Set{ID: i, Name: name, Elements: elems, ElemIDs: ids}
 	}
+	r.vocabN = dict.Size()
 	return r
 }
 
@@ -82,25 +90,33 @@ func (r *Repository) Set(id int) Set { return r.sets[id] }
 // Sets returns all sets. Callers must not mutate the result.
 func (r *Repository) Sets() []Set { return r.sets }
 
-// Vocabulary returns the distinct elements across all sets in first-seen
-// order; the position of a token in the slice is its token ID. Callers must
-// not mutate the result.
-func (r *Repository) Vocabulary() []string { return r.vocab }
+// Vocabulary returns the dictionary tokens below the repository's
+// vocabulary horizon in ID order; the position of a token in the slice is
+// its token ID. For a private-dictionary repository this is exactly the
+// distinct elements across all sets in first-seen order. Callers must not
+// mutate the result.
+func (r *Repository) Vocabulary() []string { return r.dict.Prefix(r.vocabN) }
 
-// VocabSize returns the number of distinct tokens (the token ID space).
-func (r *Repository) VocabSize() int { return len(r.vocab) }
+// VocabSize returns the repository's vocabulary horizon: the dictionary
+// size at build time, i.e. the token ID space its indexes are sized for.
+func (r *Repository) VocabSize() int { return r.vocabN }
 
-// TokenID returns the interned ID of token, or -1 when the token occurs in
-// no set of the repository.
+// Dict returns the dictionary the repository interns into — shared when the
+// repository is a segment, private otherwise.
+func (r *Repository) Dict() *Dictionary { return r.dict }
+
+// TokenID returns the interned ID of token, or -1 when the token is beyond
+// the repository's vocabulary horizon (never interned, or interned by a
+// newer segment of a shared dictionary).
 func (r *Repository) TokenID(token string) int32 {
-	if id, ok := r.tokenID[token]; ok {
+	if id := r.dict.Lookup(token); id >= 0 && int(id) < r.vocabN {
 		return id
 	}
 	return -1
 }
 
 // Token returns the token string for a valid token ID.
-func (r *Repository) Token(id int32) string { return r.vocab[id] }
+func (r *Repository) Token(id int32) string { return r.dict.Token(id) }
 
 // TokenIDs interns a slice of tokens, mapping out-of-vocabulary tokens
 // (tokens occurring in no set) to -1.
@@ -122,7 +138,7 @@ type Stats struct {
 
 // Stats computes Table I's characteristics for the repository.
 func (r *Repository) Stats() Stats {
-	st := Stats{NumSets: len(r.sets), UniqueElems: len(r.vocab)}
+	st := Stats{NumSets: len(r.sets), UniqueElems: r.vocabN}
 	total := 0
 	for _, s := range r.sets {
 		n := len(s.Elements)

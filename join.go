@@ -1,6 +1,9 @@
 package koios
 
 import (
+	"fmt"
+	"sync"
+
 	"repro/internal/join"
 )
 
@@ -16,20 +19,25 @@ type JoinPair struct {
 // engine's indexes and running up to parallelism queries concurrently
 // (default 4 when ≤ 0). Result lists are indexed like the workload — the
 // joinable-dataset-discovery task of the paper's introduction at workload
-// scale.
+// scale. The workload runs against the engine's live collection; each
+// query observes a consistent snapshot.
 func (e *Engine) SearchWorkload(workload [][]string, parallelism int) [][]Result {
-	d := join.NewDiscoveryWithEngine(e.repo, e.src, e.eng, join.Options{
-		Alpha:            e.alpha,
-		QueryParallelism: parallelism,
-	})
-	raw := d.Run(workload)
-	out := make([][]Result, len(raw))
-	for qi, matches := range raw {
-		out[qi] = make([]Result, len(matches))
-		for i, m := range matches {
-			out[qi][i] = Result{SetID: m.SetID, SetName: m.SetName, Score: m.Score, Verified: m.Verified}
-		}
+	if parallelism <= 0 {
+		parallelism = 4
 	}
+	out := make([][]Result, len(workload))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for qi, q := range workload {
+		wg.Add(1)
+		go func(qi int, q []string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[qi], _ = e.Search(q)
+		}(qi, q)
+	}
+	wg.Wait()
 	return out
 }
 
@@ -38,12 +46,13 @@ func (e *Engine) SearchWorkload(workload [][]string, parallelism int) [][]Result
 // semantic overlap, sorted by descending similarity. After discovering
 // joinable sets with Search, JoinMapping tells the caller *how* to join
 // them (the task SEMA-JOIN addresses post-discovery; §IX of the paper).
+// setID is the SetID a Search result (or Insert) reported.
 func (e *Engine) JoinMapping(query []string, setID int) ([]JoinPair, error) {
-	d := join.NewDiscoveryWithEngine(e.repo, e.src, e.eng, join.Options{Alpha: e.alpha})
-	pairs, err := d.Mapping(query, setID)
-	if err != nil {
-		return nil, err
+	rec, ok := e.mgr.SetByID(int64(setID))
+	if !ok {
+		return nil, fmt.Errorf("koios: set %d is not in the live collection", setID)
 	}
+	pairs := join.MappingBetween(e.mgr.Source(), e.alpha, query, rec.Elements)
 	out := make([]JoinPair, len(pairs))
 	for i, p := range pairs {
 		out[i] = JoinPair{QueryElement: p.QueryElement, SetElement: p.SetElement, Sim: p.Sim}

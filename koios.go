@@ -1,11 +1,20 @@
 package koios
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/segment"
 	"repro/internal/sets"
 	"repro/internal/sim"
 )
+
+// ErrImmutable is returned by Insert on engines whose similarity index
+// cannot follow a growing vocabulary (the approximate NewWithSource
+// indexes are built once over the construction-time vocabulary). Engines
+// from New and NewWithVectors are always mutable.
+var ErrImmutable = segment.ErrImmutable
 
 // Set is a named set of string elements. Elements are de-duplicated on
 // engine construction.
@@ -49,6 +58,13 @@ type Config struct {
 	DisableIUB       bool
 	DisableNoEM      bool
 	DisableEarlyTerm bool
+	// SealThreshold is the number of inserted sets buffered in the mutable
+	// memtable before it seals into an immutable segment (default 256);
+	// MaxSegments bounds how many sealed segments accumulate before
+	// background compaction merges them (default 4). They only matter once
+	// Insert/Delete are used.
+	SealThreshold int
+	MaxSegments   int
 }
 
 func (c Config) coreOptions() core.Options {
@@ -82,65 +98,115 @@ type Result struct {
 // tables of EXPERIMENTS.md.
 type Stats = core.Stats
 
-// Engine answers top-k semantic overlap queries over a fixed collection.
-// Engines are safe for concurrent use.
+// Engine answers top-k semantic overlap queries over a mutable collection
+// served from immutable segments (DESIGN.md §4). Engines are safe for
+// concurrent use: any number of Search calls may run while Insert, Delete,
+// and background compaction mutate the collection — each search runs
+// against a consistent snapshot and never blocks on writers.
 type Engine struct {
-	repo  *sets.Repository
-	src   index.NeighborSource
-	eng   *core.Engine
+	mgr   *segment.Manager
 	alpha float64
 }
 
 // New builds an engine whose token index is a threshold scan under fn —
 // exact for any Similarity, at O(|vocabulary|) retrieval cost per query
-// element.
+// element. The engine is mutable: Insert and Delete work after
+// construction.
 func New(collection []Set, fn Similarity, cfg Config) *Engine {
-	repo := buildRepo(collection)
-	return newEngine(repo, index.NewFuncIndex(repo.Vocabulary(), fn), cfg)
+	return newEngine(collection, cfg, func(dict *sets.Dictionary) index.NeighborSource {
+		return index.NewDynamicFunc(dict, fn)
+	})
 }
 
 // NewWithVectors builds an engine over embedding vectors with an exact
 // (brute-force, batched) cosine index — the stand-in for the paper's Faiss
-// index that keeps results exact.
+// index that keeps results exact. The engine is mutable: vectors for
+// inserted tokens are fetched from vec on demand.
 func NewWithVectors(collection []Set, vec VectorFunc, cfg Config) *Engine {
-	repo := buildRepo(collection)
-	return newEngine(repo, index.NewExact(repo.Vocabulary(), vec), cfg)
+	return newEngine(collection, cfg, func(dict *sets.Dictionary) index.NeighborSource {
+		return index.NewDynamicExact(dict, vec)
+	})
 }
 
 // NewWithSource builds an engine over a custom neighbor source created with
 // one of the Source constructors (SourceIVF, SourceMinHashLSH, SourceHNSW).
 // Approximate sources trade exactness of the search for retrieval speed.
+// These indexes are built once over the construction-time vocabulary, so
+// the engine rejects Insert with ErrImmutable (Delete still works).
 func NewWithSource(collection []Set, source Source, cfg Config) *Engine {
-	repo := buildRepo(collection)
-	return newEngine(repo, source.build(repo.Vocabulary()), cfg)
+	return newEngine(collection, cfg, func(dict *sets.Dictionary) index.NeighborSource {
+		return source.build(dict.Snapshot())
+	})
 }
 
-func newEngine(repo *sets.Repository, src index.NeighborSource, cfg Config) *Engine {
-	eng := core.NewEngine(repo, src, cfg.coreOptions())
-	return &Engine{repo: repo, src: src, eng: eng, alpha: eng.Options().Alpha}
+func newEngine(collection []Set, cfg Config, build segment.SourceBuilder) *Engine {
+	raw := make([]sets.Set, len(collection))
+	for i, s := range collection {
+		raw[i] = sets.Set{Name: s.Name, Elements: s.Elements}
+	}
+	opts := cfg.coreOptions().WithDefaults()
+	mgr := segment.NewManager(raw, build, opts, segment.Config{
+		SealThreshold: cfg.SealThreshold,
+		MaxSegments:   cfg.MaxSegments,
+	})
+	return &Engine{mgr: mgr, alpha: opts.Alpha}
 }
 
 // Search returns the top-k sets by semantic overlap with query, best first,
 // together with search statistics.
 func (e *Engine) Search(query []string) ([]Result, Stats) {
-	raw, stats := e.eng.Search(query)
-	out := make([]Result, len(raw))
-	for i, r := range raw {
-		out[i] = Result{
-			SetID:    r.SetID,
-			SetName:  e.repo.Set(r.SetID).Name,
-			Score:    r.Score,
-			Verified: r.Verified,
-		}
-	}
-	return out, stats
+	results, stats, _ := e.SearchContext(context.Background(), query)
+	return results, stats
 }
 
-// Collection returns the engine's number of sets.
-func (e *Engine) Collection() int { return e.repo.Len() }
+// SearchContext is Search honoring ctx: once ctx is canceled the search
+// stops at the next refinement or post-processing checkpoint and returns
+// ctx's error, so abandoned queries stop burning CPU.
+func (e *Engine) SearchContext(ctx context.Context, query []string) ([]Result, Stats, error) {
+	raw, stats, err := e.mgr.Search(ctx, query, 0)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]Result, len(raw))
+	for i, r := range raw {
+		out[i] = Result{SetID: int(r.ID), SetName: r.Name, Score: r.Score, Verified: r.Verified}
+	}
+	return out, stats, nil
+}
 
-// Vocabulary returns the number of distinct elements across the collection.
-func (e *Engine) Vocabulary() int { return len(e.repo.Vocabulary()) }
+// Insert adds a set to the collection and returns its SetID (a stable
+// handle: seed sets keep their construction index, inserted sets get the
+// next integer). Inserting a name that is already live replaces the old
+// set. The set is searchable as soon as Insert returns; concurrent
+// searches keep their snapshot. Engines built with NewWithSource return
+// ErrImmutable.
+func (e *Engine) Insert(s Set) (int, error) {
+	id, err := e.mgr.Insert(s.Name, s.Elements)
+	return int(id), err
+}
+
+// Delete removes the set with the given name from the collection,
+// reporting whether it existed. The set disappears from searches as soon
+// as Delete returns; its storage is reclaimed by background compaction.
+func (e *Engine) Delete(name string) bool { return e.mgr.Delete(name) }
+
+// Compact synchronously merges all sealed segments, reclaiming tombstoned
+// sets. Searches proceed concurrently; mutations wait.
+func (e *Engine) Compact() { e.mgr.Compact() }
+
+// Collection returns the engine's number of live sets.
+func (e *Engine) Collection() int { return e.mgr.Len() }
+
+// Vocabulary returns the number of distinct elements ever interned across
+// the collection (the token dictionary is append-only, so elements of
+// deleted sets keep counting).
+func (e *Engine) Vocabulary() int { return e.mgr.VocabSize() }
+
+// Segments reports the engine's segment layout: sealed immutable segments,
+// buffered (memtable) sets, and tombstoned rows awaiting compaction.
+func (e *Engine) Segments() (sealed, memtable, tombstones int) {
+	return e.mgr.Segments()
+}
 
 // Source selects a similarity index implementation for NewWithSource.
 type Source struct {
@@ -214,11 +280,3 @@ func (c cosineSim) Sim(a, b string) float64 {
 }
 
 func (c cosineSim) Name() string { return "cosine" }
-
-func buildRepo(collection []Set) *sets.Repository {
-	raw := make([]sets.Set, len(collection))
-	for i, s := range collection {
-		raw[i] = sets.Set{Name: s.Name, Elements: s.Elements}
-	}
-	return sets.NewRepository(raw)
-}

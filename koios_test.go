@@ -1,7 +1,10 @@
 package koios
 
 import (
+	"context"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -166,6 +169,138 @@ func TestGenerateDatasetPublic(t *testing.T) {
 	// own cardinality (self-similarity).
 	if results[0].Score < float64(len(dedup(ds.Queries[0].Elements)))-tol {
 		t.Fatalf("top-1 score %v below self overlap %d", results[0].Score, len(ds.Queries[0].Elements))
+	}
+}
+
+func TestInsertDeletePublicAPI(t *testing.T) {
+	eng := New(demoCollection(), newFigure1Sim(), Config{K: 3, Alpha: 0.7, ExactScores: true})
+
+	// Insert a third set that beats both demo sets on the Figure 1 query.
+	id, err := eng.Insert(Set{Name: "C3", Elements: figure1Query})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Fatalf("insert SetID = %d, want 2", id)
+	}
+	if eng.Collection() != 3 {
+		t.Fatalf("Collection = %d after insert", eng.Collection())
+	}
+	results, _ := eng.Search(figure1Query)
+	if len(results) != 3 || results[0].SetName != "C3" {
+		t.Fatalf("inserted set not ranked first: %+v", results)
+	}
+	if math.Abs(results[0].Score-float64(len(figure1Query))) > tol {
+		t.Fatalf("self score = %v", results[0].Score)
+	}
+	// The original ranking holds below it.
+	if results[1].SetName != "C2" || math.Abs(results[1].Score-4.49) > tol {
+		t.Fatalf("rank 2 = %+v, want C2 @ 4.49", results[1])
+	}
+
+	// Replace C3 with a single element; it drops to the bottom.
+	if _, err := eng.Insert(Set{Name: "C3", Elements: []string{"LA"}}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Collection() != 3 {
+		t.Fatalf("Collection = %d after replace", eng.Collection())
+	}
+	results, _ = eng.Search(figure1Query)
+	if results[0].SetName != "C2" || results[2].SetName != "C3" {
+		t.Fatalf("replace did not take: %+v", results)
+	}
+
+	// Delete it; the engine behaves like the original two-set collection.
+	if !eng.Delete("C3") {
+		t.Fatal("delete failed")
+	}
+	if eng.Delete("C3") {
+		t.Fatal("double delete succeeded")
+	}
+	eng.Compact()
+	results, stats := eng.Search(figure1Query)
+	if len(results) != 2 || results[0].SetName != "C2" || math.Abs(results[0].Score-4.49) > tol {
+		t.Fatalf("post-delete search = %+v", results)
+	}
+	if stats.Segments < 1 {
+		t.Fatalf("stats.Segments = %d", stats.Segments)
+	}
+	if sealed, _, _ := eng.Segments(); sealed != 1 {
+		t.Fatalf("sealed = %d after Compact", sealed)
+	}
+}
+
+func TestInsertRejectedOnApproximateSource(t *testing.T) {
+	ds, err := GenerateDataset("twitter", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewWithSource(ds.Collection, SourceMinHashLSH(3, 16, 4), Config{K: 3, Alpha: 0.5})
+	if _, err := eng.Insert(Set{Name: "x", Elements: []string{"a"}}); err != ErrImmutable {
+		t.Fatalf("Insert on approximate source: %v", err)
+	}
+	// Deletes still work: they need no index support.
+	if !eng.Delete(ds.Collection[0].Name) {
+		t.Fatal("delete on approximate source failed")
+	}
+}
+
+func TestSearchContextCanceled(t *testing.T) {
+	eng := New(demoCollection(), newFigure1Sim(), Config{K: 2, Alpha: 0.7})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := eng.SearchContext(ctx, figure1Query); err != context.Canceled {
+		t.Fatalf("canceled SearchContext returned %v", err)
+	}
+	// And a live context still works through the same path.
+	if results, _, err := eng.SearchContext(context.Background(), figure1Query); err != nil || len(results) != 2 {
+		t.Fatalf("SearchContext = %v, %v", results, err)
+	}
+}
+
+func TestConcurrentSearchInsertPublicAPI(t *testing.T) {
+	ds, err := GenerateDataset("twitter", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(ds.Collection) / 2
+	eng := NewWithVectors(ds.Collection[:half], ds.Vectors, Config{
+		K: 5, Alpha: 0.8, SealThreshold: 8, MaxSegments: 2,
+	})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				q := ds.Collection[(g*31+i)%len(ds.Collection)].Elements
+				eng.Search(q)
+			}
+		}(g)
+	}
+	for _, s := range ds.Collection[half:] {
+		if _, err := eng.Insert(Set{Name: s.Name, Elements: s.Elements}); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if eng.Collection() != len(ds.Collection) {
+		t.Fatalf("Collection = %d, want %d", eng.Collection(), len(ds.Collection))
+	}
+	// Everything inserted is now findable.
+	last := ds.Collection[len(ds.Collection)-1]
+	results, _ := eng.Search(last.Elements)
+	found := false
+	for _, r := range results {
+		if r.SetName == last.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("set inserted under concurrent searches is not findable")
 	}
 }
 

@@ -66,13 +66,14 @@ func (e *Engine) SearchManyToOne(query []string, fn Similarity, alpha float64, k
 		return nil
 	}
 	type scored struct {
-		id    int
+		id    int64
+		name  string
 		score float64
 	}
 	var all []scored
-	for _, s := range e.repo.Sets() {
+	for _, s := range e.mgr.LiveSets() {
 		if sc := ManyToOneOverlap(query, s.Elements, fn, alpha); sc > 0 {
-			all = append(all, scored{id: s.ID, score: sc})
+			all = append(all, scored{id: s.ID, name: s.Name, score: sc})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -86,7 +87,7 @@ func (e *Engine) SearchManyToOne(query []string, fn Similarity, alpha float64, k
 	}
 	out := make([]Result, len(all))
 	for i, s := range all {
-		out[i] = Result{SetID: s.id, SetName: e.repo.Set(s.id).Name, Score: s.score, Verified: true}
+		out[i] = Result{SetID: int(s.id), SetName: s.name, Score: s.score, Verified: true}
 	}
 	return out
 }
