@@ -6,18 +6,27 @@
 // while serving: POST /v1/sets and DELETE /v1/sets/{name} insert and remove
 // sets without a restart (see the segment manager, DESIGN.md §4).
 //
+// With -dir the collection is durable (DESIGN.md §8): every insert/delete
+// is write-ahead logged, sealed segments are snapshotted to disk, and a
+// restarted server recovers the exact collection — the dataset flags then
+// only seed a fresh directory (and keep supplying the embedding vectors,
+// which are not persisted).
+//
 //	koios-server -dataset opendata -scale 0.1 -addr :7411
 //	koios-server -data wdc.koios.gz -addr :7411
+//	koios-server -dataset twitter -scale 0.1 -dir ./koios-data
 //
 //	curl -s localhost:7411/v1/info
 //	curl -s -X POST localhost:7411/v1/search \
 //	     -d '{"query": ["alpha", "beta"], "k": 5}'
 //	curl -s -X POST localhost:7411/v1/sets \
 //	     -d '{"name": "mine", "elements": ["alpha", "gamma"]}'
+//	curl -s localhost:7411/v1/sets/mine
 //	curl -s -X DELETE localhost:7411/v1/sets/mine
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to -drain before exiting.
+// requests for up to -drain before exiting; a durable server then
+// checkpoints, so the next start replays no WAL.
 package main
 
 import (
@@ -47,6 +56,8 @@ func main() {
 		data    = flag.String("data", "", "dataset file written by koios-datagen -format store")
 		dataset = flag.String("dataset", "opendata", "synthetic dataset kind when -data is empty")
 		scale   = flag.Float64("scale", 0.1, "synthetic dataset scale")
+		dir     = flag.String("dir", "", "data directory for durable storage (WAL + segment snapshots); empty = in-memory")
+		sync    = flag.Bool("sync", false, "fsync the WAL after every insert/delete (durable mode only)")
 		k       = flag.Int("k", 10, "default result size")
 		alpha   = flag.Float64("alpha", 0.8, "element similarity threshold")
 		parts   = flag.Int("partitions", 4, "repository partitions")
@@ -57,13 +68,13 @@ func main() {
 	)
 	flag.Parse()
 
-	mgr, err := loadManager(*data, *dataset, *scale, core.Options{
+	mgr, err := loadManager(*data, *dataset, *scale, *dir, core.Options{
 		K:           *k,
 		Alpha:       *alpha,
 		Partitions:  *parts,
 		Workers:     *workers,
 		ExactScores: true,
-	}, segment.Config{SealThreshold: *seal, MaxSegments: *maxSegs})
+	}, segment.Config{SealThreshold: *seal, MaxSegments: *maxSegs, SyncWAL: *sync})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -78,7 +89,11 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("koios-server: %d sets, %d tokens, listening on %s", mgr.Len(), mgr.VocabSize(), *addr)
+		durability := "in-memory"
+		if mgr.Dir() != "" {
+			durability = "durable in " + mgr.Dir()
+		}
+		log.Printf("koios-server: %d sets, %d tokens, %s, listening on %s", mgr.Len(), mgr.VocabSize(), durability, *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -99,11 +114,15 @@ func main() {
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("koios-server: %v", err)
 		}
+		// Checkpoint + close the WAL so the next start replays nothing.
+		if err := mgr.Close(); err != nil {
+			log.Printf("koios-server: close: %v", err)
+		}
 		log.Print("koios-server: bye")
 	}
 }
 
-func loadManager(path, kind string, scale float64, opts core.Options, segCfg segment.Config) (*segment.Manager, error) {
+func loadManager(path, kind string, scale float64, dir string, opts core.Options, segCfg segment.Config) (*segment.Manager, error) {
 	var (
 		seed []sets.Set
 		vec  func(string) ([]float32, bool)
@@ -130,7 +149,14 @@ func loadManager(path, kind string, scale float64, opts core.Options, segCfg seg
 		seed = ds.Repo.Sets()
 		vec = ds.Model.Vector
 	}
-	return segment.NewManager(seed, func(dict *sets.Dictionary) index.NeighborSource {
+	build := func(dict *sets.Dictionary) index.NeighborSource {
 		return index.NewDynamicExact(dict, vec)
-	}, opts.WithDefaults(), segCfg), nil
+	}
+	if dir == "" {
+		return segment.NewManager(seed, build, opts.WithDefaults(), segCfg), nil
+	}
+	if segment.Initialized(dir) {
+		log.Printf("koios-server: recovering collection from %s (dataset flags seed fresh directories only)", dir)
+	}
+	return segment.Open(dir, seed, build, opts.WithDefaults(), segCfg)
 }

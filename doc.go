@@ -44,6 +44,17 @@
 //	results, _ = eng.Search([]string{"Denver"}) // sees the new state
 //
 // For embedding-based similarity, use NewWithVectors with any func that
-// maps a token to its vector. See the examples/ directory for runnable
-// programs and DESIGN.md / EXPERIMENTS.md for the paper reproduction.
+// maps a token to its vector.
+//
+// To keep the collection across restarts, open the engine over a data
+// directory instead (DESIGN.md §8): inserts and deletes are write-ahead
+// logged, sealed segments are snapshotted to disk, and reopening the
+// directory — even after a crash — recovers the exact collection:
+//
+//	eng, err := koios.Open("./data", collection, koios.JaccardQGrams(3), koios.Config{K: 5, Alpha: 0.7})
+//	// ... Insert/Delete/Search ...
+//	err = eng.Close() // checkpoint; the next Open replays nothing
+//
+// See the examples/ directory for runnable programs and DESIGN.md /
+// EXPERIMENTS.md for the paper reproduction.
 package koios

@@ -86,7 +86,7 @@ func Experiments() []string {
 		"table1", "table2", "table3", "table4", "table5",
 		"fig5a", "fig5bc", "fig5d", "fig6a", "fig6bc", "fig6d",
 		"fig7a", "fig7b", "fig7c", "fig7d", "fig8",
-		"silkmoth", "ablation", "mixed",
+		"silkmoth", "ablation", "mixed", "recovery",
 	}
 }
 
@@ -131,6 +131,8 @@ func (r *Runner) Run(exp string) error {
 		r.Ablation()
 	case "mixed":
 		r.MixedWorkload()
+	case "recovery":
+		r.RecoveryWorkload()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (want one of %v)", exp, Experiments())
 	}

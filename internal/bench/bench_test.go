@@ -38,6 +38,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"Table I", "Table II", "Table III", "Table IV", "Table V",
 		"Fig. 5a", "Fig. 5b,c", "Fig. 5d", "Fig. 6a", "Fig. 7a",
 		"Fig. 7b", "Fig. 7c", "Fig. 7d", "Fig. 8", "SilkMoth", "Ablation",
+		"restart/recovery", "results identical ✓",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q", want)

@@ -1,0 +1,326 @@
+package segment
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/sets"
+	"repro/internal/store"
+)
+
+// Durability (DESIGN.md §8). A durable manager keeps four kinds of files
+// in its data directory:
+//
+//   - seg-*.kseg    — immutable snapshots of sealed segments: interned
+//     rows, the dictionary horizon they were interned under, handles, and
+//     the write-time tombstone bitset. CSR postings and engines are
+//     rebuilt on load, exactly as compaction rebuilds them for a merge.
+//   - dict-*.kdict  — the shared append-only dictionary (tokens in ID
+//     order), rewritten when it grew since the last checkpoint.
+//   - wal-*.kwal    — the write-ahead log of the current checkpoint
+//     generation: every Insert/Delete since the last checkpoint, appended
+//     before it is applied in memory.
+//   - MANIFEST      — the JSON root committed by write-temp-then-rename:
+//     generation, dictionary file, live segment files with their *current*
+//     tombstone bitsets, active WAL name, and the next insertion handle.
+//
+// The crash-consistency invariant: at every instant, the on-disk manifest
+// plus a full replay of the WAL it names reproduces the live collection.
+// Checkpoints maintain it by sealing the memtable first (so no live row
+// exists only in memory), persisting every unpersisted segment, committing
+// the manifest, and only then starting a fresh WAL and deleting the old
+// one — a crash anywhere in between leaves the previous manifest + WAL
+// pair intact and fully replayable. WAL records carry resolved names and
+// assigned handles, so replay is deterministic and idempotent against the
+// checkpointed state: a replayed delete whose effect is already in the
+// manifest's tombstones targets a name that is no longer live (no-op), and
+// a replayed insert lands in the memtable exactly as the original did.
+
+// Initialized reports whether dir holds a committed manifest — i.e. Open
+// would recover an existing collection instead of seeding a new one.
+func Initialized(dir string) bool {
+	m, err := store.LoadManifest(dir)
+	return err == nil && m != nil
+}
+
+// Open builds a durable manager over dir. A directory with a committed
+// manifest is recovered (checkpointed segments + dictionary are loaded,
+// then the WAL is replayed); seed is ignored in that case — it only
+// initializes a fresh directory, which is checkpointed immediately so the
+// seed itself survives a crash. The source builder runs over the loaded
+// dictionary, so index coverage matches a from-scratch build.
+func Open(dir string, seed []sets.Set, build SourceBuilder, opts core.Options, cfg Config) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	man, err := store.LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man == nil {
+		m := NewManager(seed, build, opts, cfg)
+		m.dir = dir
+		m.mu.Lock()
+		err := m.checkpointLocked()
+		m.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("segment: initialize %s: %w", dir, err)
+		}
+		return m, nil
+	}
+	return recoverDir(dir, man, build, opts, cfg)
+}
+
+// recoverDir rebuilds a manager from a committed manifest: dictionary, then
+// segment snapshots (manifest tombstones win over write-time ones), then
+// WAL replay through the exact insert/delete paths live traffic uses.
+func recoverDir(dir string, man *store.Manifest, build SourceBuilder, opts core.Options, cfg Config) (*Manager, error) {
+	tokens, err := store.LoadDict(filepath.Join(dir, man.Dict))
+	if err != nil {
+		return nil, err
+	}
+	dict, err := sets.NewDictionaryFromTokens(tokens)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		dict:     dict,
+		opts:     opts,
+		cfg:      cfg.withDefaults(),
+		where:    make(map[string]loc),
+		dir:      dir,
+		gen:      man.Gen,
+		dictFile: man.Dict,
+		dictN:    len(tokens),
+	}
+	m.src = build(dict)
+	m.dyn, _ = m.src.(index.Syncer)
+	_, m.probeLiveOnly = m.src.(index.QueryVocabBound)
+
+	m.nextHandle = man.NextHandle
+	for _, ms := range man.Segments {
+		s, err := m.loadSegment(ms)
+		if err != nil {
+			return nil, err
+		}
+		m.sealed = append(m.sealed, s)
+		var id uint64
+		if n, _ := fmt.Sscanf(ms.File, "seg-%d.kseg", &id); n == 1 && id >= m.nextSegID {
+			m.nextSegID = id + 1
+		}
+	}
+
+	// Sweep leftovers of a checkpoint that crashed before its manifest
+	// committed. This must precede WAL replay: replay can arm a background
+	// compaction whose own checkpoint commits a newer generation, and a
+	// sweep keyed on this (then stale) manifest would delete its files.
+	removeOrphans(dir, man)
+
+	wal, recs, err := store.OpenWAL(filepath.Join(dir, man.WAL), man.Gen)
+	if err != nil {
+		return nil, err
+	}
+	m.wal = wal
+	// Replay under the writer lock: applying an insert can trigger a seal,
+	// and a seal can spawn a background compaction that contends for mu.
+	m.mu.Lock()
+	m.replaying = true
+	for _, rec := range recs {
+		switch rec.Op {
+		case store.WALInsert:
+			if m.dyn == nil {
+				m.mu.Unlock()
+				wal.Close()
+				return nil, fmt.Errorf("segment: WAL %s contains inserts but the similarity index is static", man.WAL)
+			}
+			m.applyInsertLocked(rec.Handle, rec.Name, rec.Elements)
+		case store.WALDelete:
+			if l, ok := m.where[rec.Name]; ok {
+				m.applyDeleteLocked(rec.Name, l)
+			}
+		}
+	}
+	m.replaying = false
+	m.publishLocked()
+	m.mu.Unlock()
+	return m, nil
+}
+
+// loadSegment materializes one manifest segment: snapshot rows through
+// sets.NewInternedSegment (bounds-checked against the recorded horizon), a
+// rebuilt engine, and live-row registration in the location map and
+// live-token refcounts.
+func (m *Manager) loadSegment(ms store.ManifestSegment) (*seg, error) {
+	snap, err := store.LoadSegment(filepath.Join(m.dir, ms.File))
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Rows) != ms.Rows {
+		return nil, fmt.Errorf("segment: %s has %d rows, manifest says %d", ms.File, len(snap.Rows), ms.Rows)
+	}
+	dead, err := ms.Dead()
+	if err != nil {
+		return nil, err
+	}
+	// The manifest bitset is authoritative (it folds in deletes since the
+	// snapshot was written); OR-ing the write-time bits is defensive — the
+	// manifest can only ever add tombstones on top of them.
+	for i := range dead {
+		if i < len(snap.Dead) {
+			dead[i] |= snap.Dead[i]
+		}
+	}
+	rows := make([]sets.Set, len(snap.Rows))
+	handles := make([]int64, len(snap.Rows))
+	for i, row := range snap.Rows {
+		rows[i] = sets.Set{Name: row.Name, ElemIDs: row.ElemIDs}
+		handles[i] = row.Handle
+	}
+	repo, err := sets.NewInternedSegment(m.dict, rows, snap.VocabN)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %s: %w", ms.File, err)
+	}
+	s := &seg{
+		repo:       repo,
+		eng:        core.NewEngine(repo, m.src, m.opts),
+		handles:    handles,
+		deadMaster: dead,
+		file:       ms.File,
+	}
+	for _, word := range dead {
+		s.deadN += bits.OnesCount64(word)
+	}
+	for local := 0; local < repo.Len(); local++ {
+		if s.dead(local) {
+			continue
+		}
+		row := repo.Set(local)
+		if prev, ok := m.where[row.Name]; ok {
+			// Two live rows with one name should not survive a consistent
+			// checkpoint; recover like a seed duplicate — newer shadows.
+			prev.seg.markDead(prev.local)
+			m.releaseLocked(prev.seg.repo.Set(prev.local).ElemIDs)
+			m.live--
+		}
+		m.where[row.Name] = loc{seg: s, local: local}
+		m.retainLocked(row.ElemIDs)
+		m.live++
+		if handles[local] >= m.nextHandle {
+			m.nextHandle = handles[local] + 1
+		}
+	}
+	return s, nil
+}
+
+// checkpointLocked makes the current collection durable: seal the memtable
+// (no live row may exist only in memory once the WAL restarts), snapshot
+// every sealed segment that has no file yet, persist the dictionary if it
+// grew, start the next WAL generation, commit the manifest atomically, and
+// only then drop the previous generation's files. No-op on in-memory
+// managers and during replay. Any failure before the manifest commit
+// leaves the previous manifest + WAL authoritative — still a correct
+// recovery point covering every operation.
+func (m *Manager) checkpointLocked() error {
+	if m.dir == "" || m.replaying || m.closed {
+		return nil
+	}
+	if len(m.mem) > 0 {
+		m.sealLocked()
+		m.publishLocked()
+	}
+	for _, s := range m.sealed {
+		if s.file != "" {
+			continue
+		}
+		name := fmt.Sprintf("seg-%08d.kseg", m.nextSegID)
+		if err := store.SaveSegment(filepath.Join(m.dir, name), segSnapshotOf(s)); err != nil {
+			return err
+		}
+		s.file = name
+		m.nextSegID++
+	}
+	dictFile := m.dictFile
+	if dictFile == "" || m.dict.Size() != m.dictN {
+		dictFile = fmt.Sprintf("dict-%08d.kdict", m.gen+1)
+		if err := store.SaveDict(filepath.Join(m.dir, dictFile), m.dict.Snapshot()); err != nil {
+			return err
+		}
+	}
+	walName := fmt.Sprintf("wal-%08d.kwal", m.gen+1)
+	wal, err := store.CreateWAL(filepath.Join(m.dir, walName), m.gen+1)
+	if err != nil {
+		return err
+	}
+	man := &store.Manifest{Gen: m.gen + 1, Dict: dictFile, WAL: walName, NextHandle: m.nextHandle}
+	for _, s := range m.sealed {
+		ms := store.ManifestSegment{File: s.file, Rows: s.repo.Len()}
+		ms.SetDead(s.deadMaster)
+		man.Segments = append(man.Segments, ms)
+	}
+	if err := store.CommitManifest(m.dir, man); err != nil {
+		wal.Close()
+		os.Remove(filepath.Join(m.dir, walName))
+		return err
+	}
+	if m.wal != nil {
+		m.wal.Close()
+	}
+	m.wal = wal
+	m.gen = man.Gen
+	m.dictFile = dictFile
+	m.dictN = m.dict.Size()
+	removeOrphans(m.dir, man)
+	return nil
+}
+
+// segSnapshotOf captures a sealed segment for persistence. The repository
+// and handles are immutable; the tombstone bitset is cloned at write time
+// (later deletes reach disk through the manifest).
+func segSnapshotOf(s *seg) *store.SegmentSnapshot {
+	snap := &store.SegmentSnapshot{
+		VocabN: s.repo.VocabSize(),
+		Rows:   make([]store.SegmentRow, s.repo.Len()),
+		Dead:   append([]uint64(nil), s.deadMaster...),
+	}
+	for i := 0; i < s.repo.Len(); i++ {
+		row := s.repo.Set(i)
+		snap.Rows[i] = store.SegmentRow{Handle: s.handles[i], Name: row.Name, ElemIDs: row.ElemIDs}
+	}
+	return snap
+}
+
+// removeOrphans deletes engine files the manifest no longer references:
+// segments dropped by compaction, previous WAL/dictionary generations, and
+// leftovers of checkpoints that crashed before their manifest committed.
+// Best-effort — an undeletable orphan costs disk, not correctness.
+func removeOrphans(dir string, man *store.Manifest) {
+	keep := map[string]bool{store.ManifestName: true, man.Dict: true, man.WAL: true}
+	for _, s := range man.Segments {
+		keep[s.File] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || keep[name] {
+			continue
+		}
+		switch filepath.Ext(name) {
+		case ".kseg", ".kdict", ".kwal":
+			os.Remove(filepath.Join(dir, name))
+		default:
+			if name == store.ManifestName+".tmp" {
+				os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+}
+
+// Dir returns the manager's data directory, empty for in-memory managers.
+func (m *Manager) Dir() string { return m.dir }

@@ -15,6 +15,13 @@
 // drops tombstoned rows) once more than MaxSegments have accumulated.
 // Set names are the external keys: inserting an existing name replaces the
 // old version (a tombstone shadows it), exactly like an LSM overwrite.
+//
+// A manager opened with Open is additionally durable (DESIGN.md §8): every
+// Insert/Delete appends to a write-ahead log before it is applied, sealed
+// segments are snapshotted to disk at seal/compaction time, and a versioned
+// manifest committed by atomic rename names the live files — so reopening
+// the directory after a crash recovers the exact collection (checkpointed
+// segments + WAL replay).
 package segment
 
 import (
@@ -28,11 +35,30 @@ import (
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/sets"
+	"repro/internal/store"
 )
 
 // ErrImmutable is returned by Insert when the manager's similarity index
 // cannot follow a growing dictionary (no index.Syncer support).
 var ErrImmutable = errors.New("segment: similarity index is static; engine does not support inserts")
+
+// ErrClosed is returned by mutations on a closed manager.
+var ErrClosed = errors.New("segment: manager is closed")
+
+// A DurabilityError reports a mutation that WAS applied and WAL-logged
+// but whose follow-on durability step (WAL fsync under SyncWAL, or a
+// checkpoint the mutation triggered) failed. The collection includes the
+// operation and the previous manifest + WAL pair still recovers it; only
+// the extra durability the step would have bought is missing. Callers
+// distinguish it with errors.As from errors that mean the mutation did
+// not happen.
+type DurabilityError struct{ Err error }
+
+func (e *DurabilityError) Error() string {
+	return "segment: mutation applied, but durability step failed: " + e.Err.Error()
+}
+
+func (e *DurabilityError) Unwrap() error { return e.Err }
 
 // SourceBuilder constructs the shared similarity index over the manager's
 // dictionary, after the seed collection has been interned. Sources
@@ -52,6 +78,11 @@ type Config struct {
 	// mutating call instead of on a background goroutine — deterministic
 	// segment layouts for tests and benchmarks.
 	ForegroundCompaction bool
+	// SyncWAL fsyncs the write-ahead log after every logged operation
+	// (durable managers only). Off by default: graceful shutdown and
+	// process crashes are always covered; surviving power loss of the
+	// last few operations costs an fsync per write.
+	SyncWAL bool
 }
 
 func (c Config) withDefaults() Config {
@@ -90,12 +121,16 @@ type Result struct {
 // and the stable handle of each local row. deadMaster is the writer-owned
 // tombstone bitset (guarded by Manager.mu, never read by searches — they
 // see the clones published in snapshots); deadN counts its set bits.
+// file is the segment's on-disk snapshot name inside the manager's data
+// directory, empty while the segment exists only in memory (non-durable
+// managers, or a durable segment awaiting its first checkpoint).
 type seg struct {
 	repo       *sets.Repository
 	eng        *core.Engine
 	handles    []int64
 	deadMaster []uint64
 	deadN      int
+	file       string
 }
 
 func (s *seg) dead(local int) bool {
@@ -155,6 +190,21 @@ type Manager struct {
 	// retrieval, as if the indexes had been rebuilt without it.
 	tokenRefs []int32
 	liveBits  []uint64
+
+	// Durable state (zero-valued on in-memory managers): the data
+	// directory, the open WAL of the current checkpoint generation, the
+	// generation counter, the next segment snapshot file number, and the
+	// name/coverage of the persisted dictionary file. replaying suppresses
+	// WAL appends and checkpoints while recovery re-applies logged
+	// operations; closed fails further mutations.
+	dir       string
+	wal       *store.WAL
+	gen       uint64
+	nextSegID uint64
+	dictFile  string
+	dictN     int
+	replaying bool
+	closed    bool
 
 	compactMu  sync.Mutex // serializes whole compactions (never held by Search)
 	compacting atomic.Bool
@@ -243,19 +293,27 @@ func (m *Manager) Segments() (sealedSegs, memtableSets, tombstones int) {
 
 // Insert adds a set (or replaces the live set of the same name) and
 // returns its stable handle. An empty name defaults to "set-<handle>".
-// The new set is searchable as soon as Insert returns.
+// The new set is searchable as soon as Insert returns. On a durable
+// manager the operation is logged to the WAL before it is applied; an
+// error of type *DurabilityError means the insert itself is applied and
+// logged but a follow-on durability step (fsync, or a checkpoint a seal
+// triggered) failed — any other error means it was not applied.
 func (m *Manager) Insert(name string, elements []string) (int64, error) {
 	if m.dyn == nil {
 		return 0, ErrImmutable
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
 	handle := m.nextHandle
 	m.nextHandle++
 	if name == "" {
 		// Auto-assign "set-<handle>", stepping around any live set the
 		// user explicitly gave that name — an auto-name must create, never
-		// silently replace.
+		// silently replace. The resolved name is what gets logged, so
+		// replay never re-resolves.
 		name = fmt.Sprintf("set-%d", handle)
 		for i := 1; ; i++ {
 			if _, taken := m.where[name]; !taken {
@@ -263,6 +321,32 @@ func (m *Manager) Insert(name string, elements []string) (int64, error) {
 			}
 			name = fmt.Sprintf("set-%d~%d", handle, i)
 		}
+	}
+	var walErr error
+	if m.wal != nil {
+		if err := m.wal.Append(store.WALRecord{Op: store.WALInsert, Handle: handle, Name: name, Elements: elements}); err != nil {
+			m.nextHandle--
+			return 0, err
+		}
+		if m.cfg.SyncWAL {
+			if err := m.wal.Sync(); err != nil {
+				walErr = &DurabilityError{Err: err}
+			}
+		}
+	}
+	if err := m.applyInsertLocked(handle, name, elements); err != nil {
+		return handle, &DurabilityError{Err: err}
+	}
+	return handle, walErr
+}
+
+// applyInsertLocked is the insert body shared by Insert and WAL replay:
+// the handle and name are already resolved (and, on durable managers,
+// logged). Returns the error of a checkpoint triggered by a seal; the
+// insert itself always applies.
+func (m *Manager) applyInsertLocked(handle int64, name string, elements []string) error {
+	if handle >= m.nextHandle {
+		m.nextHandle = handle + 1
 	}
 	if old, ok := m.where[name]; ok {
 		m.removeLocked(name, old)
@@ -273,29 +357,53 @@ func (m *Manager) Insert(name string, elements []string) (int64, error) {
 	m.live++
 	m.rebuildMemLocked()
 	m.retainLocked(m.memSeg.repo.Set(len(m.mem) - 1).ElemIDs)
-	m.maybeSealLocked()
+	sealed := m.maybeSealLocked()
 	m.publishLocked()
 	m.maybeCompactLocked()
-	return handle, nil
+	if sealed {
+		return m.checkpointLocked()
+	}
+	return nil
 }
 
 // Delete tombstones the live set with the given name, reporting whether it
 // existed. The set disappears from searches as soon as Delete returns; its
-// storage is reclaimed by the next compaction.
-func (m *Manager) Delete(name string) bool {
+// storage is reclaimed by the next compaction. On a durable manager the
+// delete is logged to the WAL before it is applied; a *DurabilityError
+// means it was applied and logged but the SyncWAL fsync failed.
+func (m *Manager) Delete(name string) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return false, ErrClosed
+	}
 	l, ok := m.where[name]
 	if !ok {
-		return false
+		return false, nil
 	}
+	var walErr error
+	if m.wal != nil {
+		if err := m.wal.Append(store.WALRecord{Op: store.WALDelete, Name: name}); err != nil {
+			return false, err
+		}
+		if m.cfg.SyncWAL {
+			if err := m.wal.Sync(); err != nil {
+				walErr = &DurabilityError{Err: err}
+			}
+		}
+	}
+	m.applyDeleteLocked(name, l)
+	return true, walErr
+}
+
+// applyDeleteLocked is the delete body shared by Delete and WAL replay.
+func (m *Manager) applyDeleteLocked(name string, l loc) {
 	m.removeLocked(name, l)
 	delete(m.where, name)
 	if l.mem {
 		m.rebuildMemLocked()
 	}
 	m.publishLocked()
-	return true
 }
 
 // removeLocked detaches the set at l: memtable rows are spliced out,
@@ -371,13 +479,20 @@ func (m *Manager) rebuildMemLocked() {
 }
 
 // maybeSealLocked freezes the memtable into a sealed segment once it
-// reaches the seal threshold. The just-rebuilt memtable view simply
-// becomes the sealed segment — its repository and engine are already
-// immutable.
-func (m *Manager) maybeSealLocked() {
+// reaches the seal threshold, reporting whether it did (a durable caller
+// follows a seal with a checkpoint).
+func (m *Manager) maybeSealLocked() bool {
 	if len(m.mem) < m.cfg.SealThreshold || m.memSeg == nil {
-		return
+		return false
 	}
+	m.sealLocked()
+	return true
+}
+
+// sealLocked unconditionally freezes the non-empty memtable. The
+// just-rebuilt memtable view simply becomes the sealed segment — its
+// repository and engine are already immutable.
+func (m *Manager) sealLocked() {
 	s := m.memSeg
 	for i, row := range m.mem {
 		m.where[row.Name] = loc{seg: s, local: i}
@@ -427,6 +542,8 @@ func (m *Manager) maybeCompactLocked() {
 	if m.compacting.CompareAndSwap(false, true) {
 		go func() {
 			defer m.compacting.Store(false)
+			// A failed background checkpoint leaves the previous
+			// manifest + WAL authoritative; the next checkpoint retries.
 			m.Compact()
 		}()
 	}
@@ -448,20 +565,24 @@ type planEntry struct {
 // lock against immutable inputs, and the install step re-validates each
 // captured row — rows deleted or replaced mid-build enter the merged
 // segment already tombstoned, so no write is lost. Whole compactions are
-// serialized by compactMu.
-func (m *Manager) Compact() {
+// serialized by compactMu. On durable managers a successful install is
+// followed by a checkpoint persisting the merged segment; a checkpoint
+// failure leaves the previous manifest + WAL authoritative (still a
+// correct recovery point) and is returned.
+func (m *Manager) Compact() error {
 	m.compactMu.Lock()
 	defer m.compactMu.Unlock()
 	m.mu.Lock()
 	srcs, plan, rows := m.captureLocked()
 	m.mu.Unlock()
 	if srcs == nil {
-		return
+		return nil
 	}
 	merged := m.buildMerged(plan, rows)
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.installLocked(srcs, plan, merged)
-	m.mu.Unlock()
+	return m.checkpointLocked()
 }
 
 // compactLocked is Compact for callers already holding m.mu (foreground
@@ -547,18 +668,53 @@ func (m *Manager) installLocked(srcs []*seg, plan []planEntry, merged *seg) {
 }
 
 // Flush seals the current memtable (if any) into a segment regardless of
-// size — deterministic layouts for tests.
-func (m *Manager) Flush() {
+// size — deterministic layouts for tests, and a forced checkpoint boundary
+// on durable managers (always, even when the memtable is empty: pending
+// tombstones and unpersisted segments still reach the manifest).
+func (m *Manager) Flush() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.mem) == 0 {
-		return
+	if m.closed {
+		return ErrClosed
 	}
-	save := m.cfg.SealThreshold
-	m.cfg.SealThreshold = 0
-	m.maybeSealLocked()
-	m.cfg.SealThreshold = save
-	m.publishLocked()
+	if len(m.mem) > 0 {
+		m.sealLocked()
+		m.publishLocked()
+	}
+	return m.checkpointLocked()
+}
+
+// Checkpoint forces a durability checkpoint: the memtable is sealed, every
+// unpersisted sealed segment is snapshotted to disk, the manifest commits
+// atomically, and the WAL restarts empty. A no-op (nil) on in-memory
+// managers.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return m.checkpointLocked()
+}
+
+// Close checkpoints (durable managers) and closes the WAL. Further
+// mutations fail with ErrClosed; searches keep answering from the last
+// published snapshot.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	err := m.checkpointLocked()
+	m.closed = true
+	if m.wal != nil {
+		if cerr := m.wal.Close(); err == nil {
+			err = cerr
+		}
+		m.wal = nil
+	}
+	return err
 }
 
 // Search runs the top-k semantic overlap search against the current

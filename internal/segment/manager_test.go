@@ -268,11 +268,14 @@ func TestHandlesAndRecords(t *testing.T) {
 		t.Fatalf("auto-named insert = %+v, %v", rec, ok)
 	}
 
-	if m.Delete("nope") {
-		t.Fatal("deleted a set that never existed")
+	if ok, err := m.Delete("nope"); err != nil || ok {
+		t.Fatalf("deleted a set that never existed: %v, %v", ok, err)
 	}
-	if !m.Delete("b") || m.Delete("b") {
-		t.Fatal("delete/double-delete broken")
+	if ok, err := m.Delete("b"); err != nil || !ok {
+		t.Fatalf("delete broken: %v, %v", ok, err)
+	}
+	if ok, err := m.Delete("b"); err != nil || ok {
+		t.Fatalf("double-delete broken: %v, %v", ok, err)
 	}
 
 	// An auto-assigned name must never replace a user's explicitly named
@@ -309,8 +312,8 @@ func TestStaticSourceRejectsInsert(t *testing.T) {
 		t.Fatalf("insert on static source: %v", err)
 	}
 	// Deletes need no index support.
-	if !m.Delete("a") {
-		t.Fatal("delete on static source failed")
+	if ok, err := m.Delete("a"); err != nil || !ok {
+		t.Fatalf("delete on static source failed: %v, %v", ok, err)
 	}
 	if res, _, err := m.Search(context.Background(), []string{"x"}, 0); err != nil || len(res) != 0 {
 		t.Fatalf("search after delete: %v, %v", res, err)

@@ -53,6 +53,22 @@ func (c *Client) Insert(name string, elements []string) (*InsertResponse, error)
 	return &out, nil
 }
 
+// GetSet fetches the live set with the given name; an error mentioning
+// HTTP 404 means no live set has it (unknown or deleted). The name is
+// path-escaped like Delete's.
+func (c *Client) GetSet(name string) (*SetResponse, error) {
+	resp, err := c.http.Get(c.base + "/v1/sets/" + url.PathEscape(name))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out SetResponse
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Delete removes the named set. The name is path-escaped, so names with
 // URL metacharacters round-trip through Insert and Delete.
 func (c *Client) Delete(name string) (*DeleteResponse, error) {

@@ -10,6 +10,7 @@
 //	POST   /v1/search        {"query": [...], "k": 5}          → top-k results + stats
 //	POST   /v1/overlap       {"a": [...], "b": [...]}          → pairwise measures
 //	POST   /v1/sets          {"name": "...", "elements": [..]} → insert/replace a set
+//	GET    /v1/sets/{name}                                      → fetch a live set (404 if unknown/deleted)
 //	DELETE /v1/sets/{name}                                      → delete a set
 //	GET    /v1/info                                             → collection + segment metadata
 //	GET    /healthz                                             → liveness
@@ -90,6 +91,7 @@ func New(mgr *segment.Manager, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/overlap", s.handleOverlap)
 	s.mux.HandleFunc("POST /v1/sets", s.handleInsert)
+	s.mux.HandleFunc("GET /v1/sets/{name}", s.handleGetSet)
 	s.mux.HandleFunc("DELETE /v1/sets/{name}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -221,7 +223,8 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id, err := s.mgr.Insert(req.Name, req.Elements)
-	if err != nil {
+	var durErr *segment.DurabilityError
+	if err != nil && !errors.As(err, &durErr) {
 		if errors.Is(err, segment.ErrImmutable) {
 			httpError(w, http.StatusConflict, err.Error())
 			return
@@ -229,7 +232,31 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	// A DurabilityError means the insert IS applied and WAL-logged (only a
+	// follow-on fsync/checkpoint failed), so the client gets its handle.
 	writeJSON(w, http.StatusCreated, InsertResponse{SetID: int(id), Sets: s.mgr.Len()})
+}
+
+// SetResponse is the body of GET /v1/sets/{name}: one live set.
+type SetResponse struct {
+	SetID    int64    `json:"set_id"`
+	Name     string   `json:"name"`
+	Elements []string `json:"elements"`
+}
+
+func (s *Server) handleGetSet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "set name missing")
+		return
+	}
+	rec, ok := s.mgr.SetByName(name)
+	if !ok {
+		// Tombstoned and never-inserted names answer alike: not live.
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no live set named %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, SetResponse{SetID: rec.ID, Name: rec.Name, Elements: rec.Elements})
 }
 
 // DeleteResponse reports a completed deletion.
@@ -244,7 +271,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "set name missing")
 		return
 	}
-	if !s.mgr.Delete(name) {
+	deleted, err := s.mgr.Delete(name)
+	var durErr *segment.DurabilityError
+	if err != nil && !errors.As(err, &durErr) {
+		// The delete was not applied (WAL append failed or engine closed).
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !deleted {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("no live set named %q", name))
 		return
 	}

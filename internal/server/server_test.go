@@ -366,6 +366,120 @@ func TestDeleteSeedSet(t *testing.T) {
 	}
 }
 
+func TestGetSetEndpoint(t *testing.T) {
+	ts, ds := testServer(t)
+	c := NewClient(ts.URL, nil)
+
+	// A seed set is fetchable by name with its elements intact.
+	seed := ds.Repo.Set(0)
+	got, err := c.GetSet(seed.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SetID != 0 || got.Name != seed.Name || len(got.Elements) != len(seed.Elements) {
+		t.Fatalf("GetSet(seed) = %+v", got)
+	}
+
+	// Unknown names 404.
+	if _, err := c.GetSet("never-existed"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown set: %v", err)
+	}
+
+	// Inserted sets are fetchable, incl. URL metacharacters; deleted
+	// (tombstoned) sets answer exactly like unknown ones.
+	weird := "100% weird/name#2"
+	ins, err := c.Insert(weird, []string{"tok-a", "tok-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.GetSet(weird)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SetID != int64(ins.SetID) || got.Name != weird || len(got.Elements) != 2 {
+		t.Fatalf("GetSet(inserted) = %+v", got)
+	}
+	if _, err := c.Delete(weird); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetSet(weird); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("tombstoned set: %v", err)
+	}
+}
+
+// TestDurableRestartServesIdenticalResults is the HTTP half of the
+// durability acceptance criteria: a server over a durable manager, mutated
+// through the API and restarted (close + reopen the same directory), must
+// serve byte-identical /v1/search responses.
+func TestDurableRestartServesIdenticalResults(t *testing.T) {
+	ds := datagen.GenerateDefault(datagen.Twitter, 0.02)
+	cfg := Config{K: 5, Alpha: 0.8, Partitions: 2, Workers: 2}
+	opts := core.Options{
+		K: cfg.K, Alpha: cfg.Alpha, Partitions: cfg.Partitions, Workers: cfg.Workers,
+		ExactScores: true,
+	}.WithDefaults()
+	build := func(dict *sets.Dictionary) index.NeighborSource {
+		return index.NewDynamicExact(dict, ds.Model.Vector)
+	}
+	dir := t.TempDir()
+	mgr, err := segment.Open(dir, ds.Repo.Sets(), build, opts, segment.Config{SealThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(mgr, cfg))
+	c := NewClient(ts.URL, nil)
+
+	extra := append([]string{"zz-durable-1"}, ds.Repo.Set(0).Elements...)
+	if _, err := c.Insert("durable", extra); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(ds.Repo.Set(1).Name); err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]string{extra, ds.Repo.Set(1).Elements, ds.Repo.Set(2).Elements}
+	before := make([]*SearchResponse, len(queries))
+	for i, q := range queries {
+		if before[i], err = c.Search(q, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.Close()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2, err := segment.Open(dir, nil, build, opts, segment.Config{SealThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(New(mgr2, cfg))
+	defer ts2.Close()
+	c2 := NewClient(ts2.URL, nil)
+	for i, q := range queries {
+		after, err := c2.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(after.Results) != len(before[i].Results) {
+			t.Fatalf("query %d: %d results after restart, %d before", i, len(after.Results), len(before[i].Results))
+		}
+		for r := range after.Results {
+			b, a := before[i].Results[r], after.Results[r]
+			if a.SetName != b.SetName || a.Score != b.Score || a.Verified != b.Verified {
+				t.Fatalf("query %d rank %d: %+v after restart, %+v before", i, r, a, b)
+			}
+		}
+	}
+	// The restarted server still has the inserted set and not the deleted
+	// one.
+	if got, err := c2.GetSet("durable"); err != nil || len(got.Elements) != len(dedupTest(extra)) {
+		t.Fatalf("inserted set after restart: %+v, %v", got, err)
+	}
+	if _, err := c2.GetSet(ds.Repo.Set(1).Name); err == nil {
+		t.Fatal("deleted set resurrected by restart")
+	}
+}
+
 func TestPairwiseNoEdges(t *testing.T) {
 	repo := sets.NewRepository([]sets.Set{{Elements: []string{"x"}}})
 	src := index.NewExact(repo.Vocabulary(), func(string) ([]float32, bool) { return nil, false })

@@ -1,6 +1,9 @@
 package sets
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Dictionary is the shared, append-only token dictionary of a segmented
 // repository (DESIGN.md §4): every distinct element across all segments is
@@ -24,6 +27,23 @@ type Dictionary struct {
 // NewDictionary returns an empty dictionary.
 func NewDictionary() *Dictionary {
 	return &Dictionary{ids: make(map[string]int32)}
+}
+
+// NewDictionaryFromTokens rebuilds a dictionary from a persisted vocabulary:
+// tokens in ID order, as returned by Snapshot. Duplicate tokens mean the
+// vocabulary file is corrupt (IDs would be ambiguous) and are rejected.
+func NewDictionaryFromTokens(tokens []string) (*Dictionary, error) {
+	d := &Dictionary{
+		vocab: append([]string(nil), tokens...),
+		ids:   make(map[string]int32, len(tokens)),
+	}
+	for i, tok := range tokens {
+		if prev, ok := d.ids[tok]; ok {
+			return nil, fmt.Errorf("sets: corrupt vocabulary: token %q appears at IDs %d and %d", tok, prev, i)
+		}
+		d.ids[tok] = int32(i)
+	}
+	return d, nil
 }
 
 // Intern returns the ID of tok, assigning the next dense ID when tok is new.

@@ -171,3 +171,60 @@ func TestSetElemIDs(t *testing.T) {
 		}
 	}
 }
+
+func TestDictionaryFromTokens(t *testing.T) {
+	orig := NewDictionary()
+	for _, tok := range []string{"c", "a", "b", "a"} {
+		orig.Intern(tok)
+	}
+	d, err := NewDictionaryFromTokens(orig.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != orig.Size() {
+		t.Fatalf("rebuilt size %d, want %d", d.Size(), orig.Size())
+	}
+	for _, tok := range []string{"c", "a", "b"} {
+		if d.Lookup(tok) != orig.Lookup(tok) {
+			t.Fatalf("%q: rebuilt ID %d, want %d", tok, d.Lookup(tok), orig.Lookup(tok))
+		}
+	}
+	// Interning continues with the next dense ID.
+	if id := d.Intern("new"); id != 3 {
+		t.Fatalf("post-rebuild intern = %d, want 3", id)
+	}
+	// Duplicate tokens mean a corrupt vocabulary file.
+	if _, err := NewDictionaryFromTokens([]string{"x", "y", "x"}); err == nil {
+		t.Fatal("duplicate vocabulary accepted")
+	}
+}
+
+func TestNewInternedSegment(t *testing.T) {
+	dict := NewDictionary()
+	seg1 := NewSegment(dict, []Set{{Name: "s1", Elements: []string{"a", "b"}}})
+	rows := []Set{
+		{Name: "r1", ElemIDs: []int32{1, 0}},
+		{Name: "", ElemIDs: []int32{0}},
+	}
+	repo, err := NewInternedSegment(dict, rows, seg1.VocabSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := repo.Set(0)
+	if got.Elements[0] != "b" || got.Elements[1] != "a" || got.ElemIDs[0] != 1 {
+		t.Fatalf("row 0 = %+v", got)
+	}
+	if repo.Set(1).Name != "set-1" {
+		t.Fatalf("empty name not defaulted: %q", repo.Set(1).Name)
+	}
+	if repo.VocabSize() != seg1.VocabSize() {
+		t.Fatalf("horizon %d, want %d", repo.VocabSize(), seg1.VocabSize())
+	}
+	// IDs at/above the horizon and horizons beyond the dictionary fail.
+	if _, err := NewInternedSegment(dict, []Set{{Name: "bad", ElemIDs: []int32{2}}}, 2); err == nil {
+		t.Fatal("out-of-horizon ID accepted")
+	}
+	if _, err := NewInternedSegment(dict, nil, dict.Size()+1); err == nil {
+		t.Fatal("horizon beyond dictionary accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package store
+
+// Durable-engine codecs: binary on-disk snapshots of the shared token
+// dictionary and of sealed segments (DESIGN.md §8). These are the cold
+// halves of the segmented engine's persistence — the write-ahead log
+// (wal.go) covers everything since the last checkpoint, and the manifest
+// (manifest.go) names which of these files are live. The gzip-JSON dataset
+// format stays for datasets; engine state is binary because segment rows
+// are interned int32 IDs and the dictionary is the decoder ring.
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// File magics. A wrong magic means "not this kind of file" — the most
+// useful error when a path points somewhere unexpected.
+var (
+	dictMagic = [5]byte{'K', 'D', 'I', 'C', 1}
+	segMagic  = [5]byte{'K', 'S', 'E', 'G', 1}
+	walMagic  = [5]byte{'K', 'W', 'A', 'L', 1}
+)
+
+func writeMagic(w *binWriter, magic [5]byte) { w.raw(magic[:]) }
+
+func checkMagic(r *binReader, magic [5]byte, kind string) error {
+	got := r.raw(5)
+	if r.err != nil {
+		return fmt.Errorf("store: %s: %w", kind, r.err)
+	}
+	for i := range magic {
+		if got[i] != magic[i] {
+			return fmt.Errorf("store: not a koios %s file (magic %q)", kind, got)
+		}
+	}
+	return nil
+}
+
+// WriteDict serializes a dictionary vocabulary: tokens in ID order, as
+// returned by sets.Dictionary.Snapshot.
+func WriteDict(w io.Writer, tokens []string) error {
+	bw := newBinWriter(w)
+	writeMagic(bw, dictMagic)
+	bw.uvarint(uint64(len(tokens)))
+	for _, tok := range tokens {
+		bw.str(tok)
+	}
+	if err := bw.finish(); err != nil {
+		return fmt.Errorf("store: write dictionary: %w", err)
+	}
+	return nil
+}
+
+// ReadDict deserializes a dictionary vocabulary, verifying the checksum.
+func ReadDict(r io.Reader) ([]string, error) {
+	br := newBinReader(r)
+	if err := checkMagic(br, dictMagic, "dictionary"); err != nil {
+		return nil, err
+	}
+	n := br.count("dictionary token")
+	tokens := make([]string, 0, min(n, 1<<20))
+	for i := 0; i < n; i++ {
+		tokens = append(tokens, br.str("dictionary token"))
+	}
+	if err := br.checkCRC(); err != nil {
+		return nil, fmt.Errorf("store: corrupt dictionary: %w", err)
+	}
+	return tokens, nil
+}
+
+// SegmentRow is one persisted set of a sealed segment: its stable handle,
+// external name, and interned element IDs (valid below the snapshot's
+// vocabulary horizon).
+type SegmentRow struct {
+	Handle  int64
+	Name    string
+	ElemIDs []int32
+}
+
+// SegmentSnapshot is the on-disk form of one sealed segment: the interned
+// rows, the dictionary horizon they were interned under, and the tombstone
+// bitset at write time (rows born dead, e.g. deleted mid-compaction). The
+// CSR postings and engine are rebuilt on load, exactly as compaction
+// rebuilds them for a merged segment. Tombstones accumulated after the
+// snapshot was written live in the manifest, which supersedes this bitset.
+type SegmentSnapshot struct {
+	VocabN int
+	Rows   []SegmentRow
+	Dead   []uint64
+}
+
+// WriteSegment serializes a segment snapshot.
+func WriteSegment(w io.Writer, s *SegmentSnapshot) error {
+	bw := newBinWriter(w)
+	writeMagic(bw, segMagic)
+	bw.uvarint(uint64(s.VocabN))
+	bw.uvarint(uint64(len(s.Rows)))
+	for _, row := range s.Rows {
+		bw.uvarint(uint64(row.Handle))
+		bw.str(row.Name)
+		bw.uvarint(uint64(len(row.ElemIDs)))
+		for _, id := range row.ElemIDs {
+			bw.uvarint(uint64(uint32(id)))
+		}
+	}
+	bw.uvarint(uint64(len(s.Dead)))
+	for _, word := range s.Dead {
+		bw.u64(word)
+	}
+	if err := bw.finish(); err != nil {
+		return fmt.Errorf("store: write segment: %w", err)
+	}
+	return nil
+}
+
+// ReadSegment deserializes a segment snapshot, verifying the checksum and
+// structural sanity (IDs within the horizon, bitset sized to the rows).
+func ReadSegment(r io.Reader) (*SegmentSnapshot, error) {
+	br := newBinReader(r)
+	if err := checkMagic(br, segMagic, "segment"); err != nil {
+		return nil, err
+	}
+	s := &SegmentSnapshot{VocabN: br.count("segment vocabulary")}
+	nRows := br.count("segment row")
+	s.Rows = make([]SegmentRow, 0, min(nRows, 1<<20))
+	for i := 0; i < nRows; i++ {
+		row := SegmentRow{Handle: int64(br.uvarint()), Name: br.str("set name")}
+		nElem := br.count("set element")
+		row.ElemIDs = make([]int32, 0, min(nElem, 1<<20))
+		for j := 0; j < nElem; j++ {
+			row.ElemIDs = append(row.ElemIDs, int32(br.uvarint()))
+		}
+		s.Rows = append(s.Rows, row)
+		if br.err != nil {
+			break
+		}
+	}
+	nDead := br.count("tombstone word")
+	s.Dead = make([]uint64, 0, min(nDead, 1<<20))
+	for i := 0; i < nDead; i++ {
+		s.Dead = append(s.Dead, br.u64())
+	}
+	if err := br.checkCRC(); err != nil {
+		return nil, fmt.Errorf("store: corrupt segment: %w", err)
+	}
+	if want := (len(s.Rows) + 63) / 64; len(s.Dead) != want && !(len(s.Rows) == 0 && len(s.Dead) == 0) {
+		return nil, fmt.Errorf("store: corrupt segment: %d tombstone words for %d rows (want %d)", len(s.Dead), len(s.Rows), want)
+	}
+	for i, row := range s.Rows {
+		for _, id := range row.ElemIDs {
+			if id < 0 || int(id) >= s.VocabN {
+				return nil, fmt.Errorf("store: corrupt segment: row %d token ID %d outside horizon %d", i, id, s.VocabN)
+			}
+		}
+	}
+	return s, nil
+}
+
+// SaveDict writes the vocabulary to path and syncs it to stable storage.
+func SaveDict(path string, tokens []string) error {
+	return saveSynced(path, func(w io.Writer) error { return WriteDict(w, tokens) })
+}
+
+// LoadDict reads the vocabulary at path.
+func LoadDict(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return ReadDict(f)
+}
+
+// SaveSegment writes the snapshot to path and syncs it to stable storage.
+func SaveSegment(path string, s *SegmentSnapshot) error {
+	return saveSynced(path, func(w io.Writer) error { return WriteSegment(w, s) })
+}
+
+// LoadSegment reads the snapshot at path.
+func LoadSegment(path string) (*SegmentSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return ReadSegment(f)
+}
+
+// saveSynced creates (or truncates) path, writes through fn, and fsyncs
+// before closing — a checkpoint file must be durable before the manifest
+// that references it commits.
+func saveSynced(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The write-ahead log is the hot half of the durable engine: every Insert
+// and Delete appends one record before it is applied in memory, and a
+// checkpoint starts a fresh (empty) log once the state it covered has been
+// persisted as segment snapshots. Records are individually framed —
+// little-endian length + CRC32 + payload — so a crash mid-append leaves a
+// torn tail that OpenWAL detects, truncates, and replays around: recovery
+// is always "manifest state + every complete record", never a panic.
+
+// WALOp tags a WAL record.
+type WALOp byte
+
+const (
+	// WALInsert records an insert/replace: the assigned handle, the
+	// resolved name (auto-names are resolved before logging, so replay is
+	// deterministic), and the raw elements.
+	WALInsert WALOp = 1
+	// WALDelete records a delete by name.
+	WALDelete WALOp = 2
+)
+
+// WALRecord is one logged operation.
+type WALRecord struct {
+	Op       WALOp
+	Handle   int64 // inserts only
+	Name     string
+	Elements []string // inserts only
+}
+
+// WAL is an append-only operation log. Appends are not internally
+// synchronized — the segment manager serializes them under its writer lock.
+type WAL struct {
+	f    *os.File
+	path string
+}
+
+// walHeaderLen is magic(5) + generation(8).
+const walHeaderLen = 13
+
+// CreateWAL creates (or truncates) an empty log for the given checkpoint
+// generation and syncs the header.
+func CreateWAL(path string, gen uint64) (*WAL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var hdr [walHeaderLen]byte
+	copy(hdr[:], walMagic[:])
+	binary.LittleEndian.PutUint64(hdr[5:], gen)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: write WAL header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: sync WAL header: %w", err)
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// OpenWAL opens an existing log, verifies it belongs to generation gen,
+// reads every complete record, truncates any torn tail (a crash mid-append),
+// and returns the log positioned for further appends.
+func OpenWAL(path string, gen uint64) (*WAL, []WALRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	recs, end, err := scanWAL(f, gen)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Drop the torn tail (if any) so appends resume at the last complete
+	// record — a torn record must never become a valid prefix of a new one.
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: truncate torn WAL tail: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	return &WAL{f: f, path: path}, recs, nil
+}
+
+// scanWAL reads records until EOF or the first torn/corrupt frame,
+// returning the byte offset just past the last complete record.
+func scanWAL(f *os.File, gen uint64) ([]WALRecord, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	var hdr [walHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("store: WAL header: %w", err)
+	}
+	if !bytes.Equal(hdr[:5], walMagic[:]) {
+		return nil, 0, fmt.Errorf("store: not a koios WAL file (magic %q)", hdr[:5])
+	}
+	if g := binary.LittleEndian.Uint64(hdr[5:]); g != gen {
+		return nil, 0, fmt.Errorf("store: WAL generation %d, manifest expects %d", g, gen)
+	}
+	var recs []WALRecord
+	end := int64(walHeaderLen)
+	var frame [8]byte
+	for {
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			break // clean EOF or torn frame header
+		}
+		size := binary.LittleEndian.Uint32(frame[:4])
+		crc := binary.LittleEndian.Uint32(frame[4:])
+		if size > maxBinCount {
+			break // corrupt length — treat as torn tail
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // torn or corrupt record
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			break // framed but undecodable — stop, like any torn tail
+		}
+		recs = append(recs, rec)
+		end += int64(8 + size)
+	}
+	return recs, end, nil
+}
+
+// Append logs one record. The record is written in a single Write call;
+// durability against power loss additionally needs Sync.
+func (w *WAL) Append(rec WALRecord) error {
+	payload := encodeWALRecord(rec)
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("store: WAL append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (w *WAL) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: WAL sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the log file.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+func encodeWALRecord(rec WALRecord) []byte {
+	var buf bytes.Buffer
+	bw := newBinWriter(&buf)
+	bw.raw([]byte{byte(rec.Op)})
+	switch rec.Op {
+	case WALInsert:
+		bw.uvarint(uint64(rec.Handle))
+		bw.str(rec.Name)
+		bw.uvarint(uint64(len(rec.Elements)))
+		for _, e := range rec.Elements {
+			bw.str(e)
+		}
+	case WALDelete:
+		bw.str(rec.Name)
+	}
+	bw.w.Flush()
+	return buf.Bytes()
+}
+
+func decodeWALRecord(payload []byte) (WALRecord, error) {
+	br := newBinReader(bytes.NewReader(payload))
+	op := br.raw(1)
+	if br.err != nil {
+		return WALRecord{}, br.err
+	}
+	rec := WALRecord{Op: WALOp(op[0])}
+	switch rec.Op {
+	case WALInsert:
+		rec.Handle = int64(br.uvarint())
+		rec.Name = br.str("set name")
+		n := br.count("set element")
+		rec.Elements = make([]string, 0, min(n, 1<<20))
+		for i := 0; i < n; i++ {
+			rec.Elements = append(rec.Elements, br.str("set element"))
+		}
+	case WALDelete:
+		rec.Name = br.str("set name")
+	default:
+		return WALRecord{}, fmt.Errorf("unknown WAL op %d", rec.Op)
+	}
+	return rec, br.err
+}

@@ -16,6 +16,16 @@ import (
 // from New and NewWithVectors are always mutable.
 var ErrImmutable = segment.ErrImmutable
 
+// ErrClosed is returned by mutations on a closed engine.
+var ErrClosed = segment.ErrClosed
+
+// DurabilityError reports a mutation on a durable engine that WAS applied
+// and WAL-logged but whose follow-on durability step (WAL fsync under
+// SyncWAL, or a checkpoint a segment seal triggered) failed. Distinguish
+// it with errors.As; any other Insert/Delete error means the mutation did
+// not happen.
+type DurabilityError = segment.DurabilityError
+
 // Set is a named set of string elements. Elements are de-duplicated on
 // engine construction.
 type Set struct {
@@ -65,6 +75,11 @@ type Config struct {
 	// Insert/Delete are used.
 	SealThreshold int
 	MaxSegments   int
+	// SyncWAL fsyncs the write-ahead log after every Insert/Delete on
+	// durable engines (Open/OpenWithVectors). Off by default: graceful
+	// Close and process crashes are always covered; SyncWAL additionally
+	// covers power loss at one fsync per write.
+	SyncWAL bool
 }
 
 func (c Config) coreOptions() core.Options {
@@ -152,6 +167,45 @@ func newEngine(collection []Set, cfg Config, build segment.SourceBuilder) *Engin
 	return &Engine{mgr: mgr, alpha: opts.Alpha}
 }
 
+// Open builds a durable engine rooted at dir with a threshold-scan token
+// index under fn (the mutable New construction). A directory that already
+// holds an engine is recovered — checkpointed segments are loaded and the
+// write-ahead log replayed — and collection is ignored; a fresh directory
+// is seeded from collection and checkpointed immediately. See Checkpoint,
+// Flush and Close for the durability lifecycle.
+func Open(dir string, collection []Set, fn Similarity, cfg Config) (*Engine, error) {
+	return openEngine(dir, collection, cfg, func(dict *sets.Dictionary) index.NeighborSource {
+		return index.NewDynamicFunc(dict, fn)
+	})
+}
+
+// OpenWithVectors is Open over embedding vectors with the exact cosine
+// index (the mutable NewWithVectors construction). Vectors are not
+// persisted: reopening needs the same vec function, and tokens it cannot
+// embed stay out of vocabulary exactly as at first build.
+func OpenWithVectors(dir string, collection []Set, vec VectorFunc, cfg Config) (*Engine, error) {
+	return openEngine(dir, collection, cfg, func(dict *sets.Dictionary) index.NeighborSource {
+		return index.NewDynamicExact(dict, vec)
+	})
+}
+
+func openEngine(dir string, collection []Set, cfg Config, build segment.SourceBuilder) (*Engine, error) {
+	raw := make([]sets.Set, len(collection))
+	for i, s := range collection {
+		raw[i] = sets.Set{Name: s.Name, Elements: s.Elements}
+	}
+	opts := cfg.coreOptions().WithDefaults()
+	mgr, err := segment.Open(dir, raw, build, opts, segment.Config{
+		SealThreshold: cfg.SealThreshold,
+		MaxSegments:   cfg.MaxSegments,
+		SyncWAL:       cfg.SyncWAL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{mgr: mgr, alpha: opts.Alpha}, nil
+}
+
 // Search returns the top-k sets by semantic overlap with query, best first,
 // together with search statistics.
 func (e *Engine) Search(query []string) ([]Result, Stats) {
@@ -188,11 +242,30 @@ func (e *Engine) Insert(s Set) (int, error) {
 // Delete removes the set with the given name from the collection,
 // reporting whether it existed. The set disappears from searches as soon
 // as Delete returns; its storage is reclaimed by background compaction.
-func (e *Engine) Delete(name string) bool { return e.mgr.Delete(name) }
+// On durable engines the delete is WAL-logged before it is applied; an
+// error other than *DurabilityError means it was not applied.
+func (e *Engine) Delete(name string) (bool, error) { return e.mgr.Delete(name) }
 
 // Compact synchronously merges all sealed segments, reclaiming tombstoned
-// sets. Searches proceed concurrently; mutations wait.
-func (e *Engine) Compact() { e.mgr.Compact() }
+// sets. Searches proceed concurrently; mutations wait. On durable engines
+// a successful merge is checkpointed.
+func (e *Engine) Compact() error { return e.mgr.Compact() }
+
+// Flush seals the memtable (buffered inserts) into an immutable segment
+// regardless of the seal threshold — a deterministic segment boundary for
+// tests, and a forced checkpoint on durable engines.
+func (e *Engine) Flush() error { return e.mgr.Flush() }
+
+// Checkpoint forces a durability checkpoint on engines from Open: the
+// memtable seals, unpersisted segments are snapshotted, the manifest
+// commits atomically, and the write-ahead log restarts empty. In-memory
+// engines return nil.
+func (e *Engine) Checkpoint() error { return e.mgr.Checkpoint() }
+
+// Close checkpoints a durable engine and closes its write-ahead log.
+// Further mutations fail with ErrClosed; searches keep answering from the
+// last snapshot. Closing an in-memory engine only stops mutations.
+func (e *Engine) Close() error { return e.mgr.Close() }
 
 // Collection returns the engine's number of live sets.
 func (e *Engine) Collection() int { return e.mgr.Len() }

@@ -211,11 +211,11 @@ func TestInsertDeletePublicAPI(t *testing.T) {
 	}
 
 	// Delete it; the engine behaves like the original two-set collection.
-	if !eng.Delete("C3") {
-		t.Fatal("delete failed")
+	if ok, err := eng.Delete("C3"); err != nil || !ok {
+		t.Fatalf("delete failed: %v, %v", ok, err)
 	}
-	if eng.Delete("C3") {
-		t.Fatal("double delete succeeded")
+	if ok, err := eng.Delete("C3"); err != nil || ok {
+		t.Fatalf("double delete succeeded: %v, %v", ok, err)
 	}
 	eng.Compact()
 	results, stats := eng.Search(figure1Query)
@@ -240,8 +240,82 @@ func TestInsertRejectedOnApproximateSource(t *testing.T) {
 		t.Fatalf("Insert on approximate source: %v", err)
 	}
 	// Deletes still work: they need no index support.
-	if !eng.Delete(ds.Collection[0].Name) {
-		t.Fatal("delete on approximate source failed")
+	if ok, err := eng.Delete(ds.Collection[0].Name); err != nil || !ok {
+		t.Fatalf("delete on approximate source failed: %v, %v", ok, err)
+	}
+}
+
+// TestOpenFlushCheckpointClose drives the durable lifecycle through the
+// public API: a fresh directory is seeded, mutated, checkpointed, and
+// reopened; results and scores are identical before and after, and the
+// directory recovers even without a graceful Close (WAL replay).
+func TestOpenFlushCheckpointClose(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := Open(dir, demoCollection(), newFigure1Sim(), Config{K: 2, Alpha: 0.7, ExactScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Insert(Set{Name: "C3", Elements: []string{"LA", "Blain", "Columbia"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sealed, memtable, _ := eng.Segments(); sealed < 2 || memtable != 0 {
+		t.Fatalf("Flush left %d sealed, %d memtable", sealed, memtable)
+	}
+	if ok, err := eng.Delete("C1"); err != nil || !ok {
+		t.Fatalf("durable delete: %v, %v", ok, err)
+	}
+	before, _ := eng.Search(figure1Query)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Insert(Set{Name: "x", Elements: []string{"y"}}); err != ErrClosed {
+		t.Fatalf("insert after Close: %v", err)
+	}
+
+	// Reopen: the collection (insert + flush + delete) survived; the seed
+	// argument is ignored on initialized directories.
+	eng2, err := Open(dir, nil, newFigure1Sim(), Config{K: 2, Alpha: 0.7, ExactScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2.Collection() != 2 {
+		t.Fatalf("reopened Collection = %d, want 2", eng2.Collection())
+	}
+	after, _ := eng2.Search(figure1Query)
+	if len(after) != len(before) {
+		t.Fatalf("%d results after reopen, %d before", len(after), len(before))
+	}
+	for i := range before {
+		if after[i].SetName != before[i].SetName || after[i].Score != before[i].Score {
+			t.Fatalf("rank %d: %+v after reopen, %+v before", i, after[i], before[i])
+		}
+	}
+	// Checkpoint is an explicit durability point: mutate, checkpoint, and
+	// abandon the engine without Close — the next Open must still see it.
+	if _, err := eng2.Insert(Set{Name: "C4", Elements: []string{"Sacramento"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	eng3, err := Open(dir, nil, newFigure1Sim(), Config{K: 2, Alpha: 0.7, ExactScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng3.Close()
+	if eng3.Collection() != 3 {
+		t.Fatalf("post-checkpoint reopen Collection = %d, want 3", eng3.Collection())
+	}
+	// In-memory engines answer the durability calls with no-ops.
+	mem := New(demoCollection(), newFigure1Sim(), Config{K: 2, Alpha: 0.7})
+	if err := mem.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
