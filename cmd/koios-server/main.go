@@ -12,13 +12,22 @@
 // only seed a fresh directory (and keep supplying the embedding vectors,
 // which are not persisted).
 //
+// Serving throughput (DESIGN.md §9): searches run through a bounded worker
+// pool (-workers; queries beyond it queue), each query gets a -query-timeout,
+// repeated similarity computations hit the cross-query cache (-sim-cache),
+// and POST /v1/search/batch answers many queries against one snapshot.
+// GET /v1/info reports queue depth, latency percentiles, and cache hit rate.
+//
 //	koios-server -dataset opendata -scale 0.1 -addr :7411
 //	koios-server -data wdc.koios.gz -addr :7411
 //	koios-server -dataset twitter -scale 0.1 -dir ./koios-data
+//	koios-server -dataset twitter -workers 8 -query-timeout 10s
 //
 //	curl -s localhost:7411/v1/info
 //	curl -s -X POST localhost:7411/v1/search \
 //	     -d '{"query": ["alpha", "beta"], "k": 5}'
+//	curl -s -X POST localhost:7411/v1/search/batch \
+//	     -d '{"queries": [["alpha", "beta"], ["gamma"]], "k": 5}'
 //	curl -s -X POST localhost:7411/v1/sets \
 //	     -d '{"name": "mine", "elements": ["alpha", "gamma"]}'
 //	curl -s localhost:7411/v1/sets/mine
@@ -52,19 +61,22 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7411", "listen address")
-		data    = flag.String("data", "", "dataset file written by koios-datagen -format store")
-		dataset = flag.String("dataset", "opendata", "synthetic dataset kind when -data is empty")
-		scale   = flag.Float64("scale", 0.1, "synthetic dataset scale")
-		dir     = flag.String("dir", "", "data directory for durable storage (WAL + segment snapshots); empty = in-memory")
-		sync    = flag.Bool("sync", false, "fsync the WAL after every insert/delete (durable mode only)")
-		k       = flag.Int("k", 10, "default result size")
-		alpha   = flag.Float64("alpha", 0.8, "element similarity threshold")
-		parts   = flag.Int("partitions", 4, "repository partitions")
-		workers = flag.Int("workers", 4, "verification workers per partition")
-		seal    = flag.Int("seal", 256, "memtable sets buffered before sealing a segment")
-		maxSegs = flag.Int("max-segments", 4, "sealed segments tolerated before compaction")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		addr     = flag.String("addr", ":7411", "listen address")
+		data     = flag.String("data", "", "dataset file written by koios-datagen -format store")
+		dataset  = flag.String("dataset", "opendata", "synthetic dataset kind when -data is empty")
+		scale    = flag.Float64("scale", 0.1, "synthetic dataset scale")
+		dir      = flag.String("dir", "", "data directory for durable storage (WAL + segment snapshots); empty = in-memory")
+		sync     = flag.Bool("sync", false, "fsync the WAL after every insert/delete (durable mode only)")
+		k        = flag.Int("k", 10, "default result size")
+		alpha    = flag.Float64("alpha", 0.8, "element similarity threshold")
+		parts    = flag.Int("partitions", 4, "repository partitions")
+		workers  = flag.Int("workers", 0, "max concurrently executing searches (worker pool size; 0 = GOMAXPROCS). NOTE: before the throughput subsystem this flag meant per-partition verification workers — that setting is now -verify-workers")
+		verifyW  = flag.Int("verify-workers", 4, "verification workers per partition inside one search (formerly -workers)")
+		qTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query execution timeout (0 = unlimited)")
+		simCache = flag.Int("sim-cache", 0, "cross-query similarity cache entries (0 = default ~1M, negative = disabled)")
+		seal     = flag.Int("seal", 256, "memtable sets buffered before sealing a segment")
+		maxSegs  = flag.Int("max-segments", 4, "sealed segments tolerated before compaction")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -72,18 +84,20 @@ func main() {
 		K:           *k,
 		Alpha:       *alpha,
 		Partitions:  *parts,
-		Workers:     *workers,
+		Workers:     *verifyW,
 		ExactScores: true,
-	}, segment.Config{SealThreshold: *seal, MaxSegments: *maxSegs, SyncWAL: *sync})
+	}, segment.Config{SealThreshold: *seal, MaxSegments: *maxSegs, SyncWAL: *sync, SimCacheSize: *simCache})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	handler := server.New(mgr, server.Config{
-		K:          *k,
-		Alpha:      *alpha,
-		Partitions: *parts,
-		Workers:    *workers,
+		K:             *k,
+		Alpha:         *alpha,
+		Partitions:    *parts,
+		Workers:       *verifyW,
+		SearchWorkers: *workers,
+		QueryTimeout:  *qTimeout,
 	})
 
 	srv := &http.Server{Addr: *addr, Handler: handler}

@@ -86,8 +86,18 @@ func Experiments() []string {
 		"table1", "table2", "table3", "table4", "table5",
 		"fig5a", "fig5bc", "fig5d", "fig6a", "fig6bc", "fig6d",
 		"fig7a", "fig7b", "fig7c", "fig7d", "fig8",
-		"silkmoth", "ablation", "mixed", "recovery",
+		"silkmoth", "ablation", "mixed", "recovery", "throughput",
 	}
+}
+
+// Known reports whether exp names a runnable experiment.
+func Known(exp string) bool {
+	for _, e := range Experiments() {
+		if e == exp {
+			return true
+		}
+	}
+	return false
 }
 
 // Run executes one experiment by name.
@@ -133,6 +143,8 @@ func (r *Runner) Run(exp string) error {
 		r.MixedWorkload()
 	case "recovery":
 		r.RecoveryWorkload()
+	case "throughput":
+		return r.Throughput()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (want one of %v)", exp, Experiments())
 	}

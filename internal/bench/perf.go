@@ -2,7 +2,9 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"testing"
 
@@ -88,4 +90,73 @@ func (r *Runner) WritePerfJSON(w io.Writer, label string) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(pb)
+}
+
+// EncodePerfJSON writes an already-measured baseline as indented JSON.
+func EncodePerfJSON(w io.Writer, pb PerfBaseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pb)
+}
+
+// LoadPerfBaseline reads a recorded BENCH_*.json perf snapshot.
+func LoadPerfBaseline(path string) (PerfBaseline, error) {
+	var pb PerfBaseline
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return pb, err
+	}
+	if err := json.Unmarshal(raw, &pb); err != nil {
+		return pb, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return pb, nil
+}
+
+// ComparePerf diffs a fresh perf measurement against a recorded baseline
+// and returns one violation string per regression beyond tolerance: fresh
+// allocs/op (and bytes/op) may exceed the baseline by at most allocTol
+// (fractional, e.g. 0.15), fresh ns/op by at most nsTol. The allocator
+// counters are machine-independent and form the hard gate; wall time gets
+// its own, typically looser, tolerance because the recorded baseline and
+// the checking machine can differ. Mismatched measurement configurations
+// (scale/k/alpha/partitions) are a violation by themselves — comparing
+// different workloads would gate nothing. Baseline kinds missing from the
+// fresh run are violations too; extra fresh kinds are ignored (a new
+// dataset has no baseline yet).
+func ComparePerf(baseline, fresh PerfBaseline, allocTol, nsTol float64) []string {
+	var violations []string
+	if baseline.Scale != fresh.Scale || baseline.K != fresh.K ||
+		baseline.Alpha != fresh.Alpha || baseline.Partitions != fresh.Partitions ||
+		baseline.Workers != fresh.Workers {
+		return []string{fmt.Sprintf(
+			"config mismatch: baseline (scale=%g k=%d alpha=%g partitions=%d workers=%d) vs fresh (scale=%g k=%d alpha=%g partitions=%d workers=%d)",
+			baseline.Scale, baseline.K, baseline.Alpha, baseline.Partitions, baseline.Workers,
+			fresh.Scale, fresh.K, fresh.Alpha, fresh.Partitions, fresh.Workers)}
+	}
+	freshByKind := make(map[string]PerfEntry, len(fresh.Queries))
+	for _, e := range fresh.Queries {
+		freshByKind[e.Kind] = e
+	}
+	check := func(kind, metric string, base, got int64, tol float64) {
+		if base <= 0 {
+			return
+		}
+		limit := float64(base) * (1 + tol)
+		if float64(got) > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s %s regressed: %d vs baseline %d (+%.1f%%, tolerance %.0f%%)",
+				kind, metric, got, base, 100*(float64(got)/float64(base)-1), 100*tol))
+		}
+	}
+	for _, base := range baseline.Queries {
+		got, ok := freshByKind[base.Kind]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("kind %q present in baseline but not measured", base.Kind))
+			continue
+		}
+		check(base.Kind, "allocs/op", base.AllocsPerOp, got.AllocsPerOp, allocTol)
+		check(base.Kind, "bytes/op", base.BytesPerOp, got.BytesPerOp, allocTol)
+		check(base.Kind, "ns/op", base.NsPerOp, got.NsPerOp, nsTol)
+	}
+	return violations
 }

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func perfFixture() PerfBaseline {
+	return PerfBaseline{
+		Label: "base", Scale: 0.05, K: 10, Alpha: 0.8, Partitions: 4,
+		Queries: []PerfEntry{
+			{Kind: "twitter", NsPerOp: 1000, BytesPerOp: 2000, AllocsPerOp: 100},
+			{Kind: "wdc", NsPerOp: 5000, BytesPerOp: 9000, AllocsPerOp: 500},
+		},
+	}
+}
+
+func TestComparePerfWithinTolerance(t *testing.T) {
+	base := perfFixture()
+	fresh := perfFixture()
+	// +10% everywhere: inside a 15% gate.
+	for i := range fresh.Queries {
+		fresh.Queries[i].NsPerOp = fresh.Queries[i].NsPerOp * 110 / 100
+		fresh.Queries[i].BytesPerOp = fresh.Queries[i].BytesPerOp * 110 / 100
+		fresh.Queries[i].AllocsPerOp = fresh.Queries[i].AllocsPerOp * 110 / 100
+	}
+	if v := ComparePerf(base, fresh, 0.15, 0.15); len(v) != 0 {
+		t.Fatalf("10%% drift flagged under 15%% tolerance: %v", v)
+	}
+	// Improvements never violate, even at zero tolerance.
+	for i := range fresh.Queries {
+		fresh.Queries[i].AllocsPerOp = 1
+		fresh.Queries[i].BytesPerOp = 1
+		fresh.Queries[i].NsPerOp = 1
+	}
+	if v := ComparePerf(base, fresh, 0.0, 0.0); len(v) != 0 {
+		t.Fatalf("improvement flagged: %v", v)
+	}
+}
+
+func TestComparePerfFlagsRegressions(t *testing.T) {
+	base := perfFixture()
+	fresh := perfFixture()
+	fresh.Queries[0].AllocsPerOp = 130 // +30% on twitter allocs
+	fresh.Queries[1].NsPerOp = 20000   // 4x on wdc ns
+	v := ComparePerf(base, fresh, 0.15, 0.60)
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations, got %d: %v", len(v), v)
+	}
+	if !strings.Contains(v[0], "twitter allocs/op") || !strings.Contains(v[1], "wdc ns/op") {
+		t.Fatalf("unexpected violation messages: %v", v)
+	}
+	// The separate ns tolerance really is separate: generous ns headroom
+	// must not excuse the alloc regression.
+	if v := ComparePerf(base, fresh, 0.15, 100); len(v) != 1 || !strings.Contains(v[0], "allocs") {
+		t.Fatalf("alloc gate leaked through ns tolerance: %v", v)
+	}
+}
+
+func TestComparePerfConfigAndCoverage(t *testing.T) {
+	base := perfFixture()
+	fresh := perfFixture()
+	fresh.Scale = 0.25
+	v := ComparePerf(base, fresh, 1, 1)
+	if len(v) != 1 || !strings.Contains(v[0], "config mismatch") {
+		t.Fatalf("config mismatch not flagged: %v", v)
+	}
+	// A kind disappearing from the measurement is a violation; an extra
+	// fresh kind (new dataset, no baseline yet) is not.
+	fresh = perfFixture()
+	fresh.Queries = append(fresh.Queries[:1], PerfEntry{Kind: "newkind", AllocsPerOp: 1})
+	v = ComparePerf(base, fresh, 1, 1)
+	if len(v) != 1 || !strings.Contains(v[0], `"wdc"`) {
+		t.Fatalf("missing kind not flagged correctly: %v", v)
+	}
+}
+
+func TestLoadPerfBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "perf.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodePerfJSON(f, perfFixture()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := LoadPerfBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "base" || len(got.Queries) != 2 || got.Queries[1].Kind != "wdc" {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if _, err := LoadPerfBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline file did not error")
+	}
+}
+
+func TestKnownExperiments(t *testing.T) {
+	for _, e := range Experiments() {
+		if !Known(e) {
+			t.Fatalf("listed experiment %q not Known", e)
+		}
+	}
+	if Known("bogus") || Known("all") {
+		t.Fatal("Known accepted a non-experiment name")
+	}
+}

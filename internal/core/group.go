@@ -56,6 +56,30 @@ type GroupResult struct {
 	Verified bool
 }
 
+// SearchBatch answers a slice of queries against this one immutable
+// snapshot, returning per-query results and statistics in input order. A
+// Group is a fixed collection state, so the batch is exactly equivalent to
+// calling SearchContext once per query — same results, same scores, byte
+// for byte — while amortizing the snapshot across the whole batch (a caller
+// holding a Group for the batch observes no concurrent mutations between
+// queries). Queries run sequentially; concurrency across queries belongs to
+// the caller (the segment manager's SearchBatch and the server worker pool
+// fan out above this level). On cancellation the batch stops at the current
+// query and returns ctx's error.
+func (g *Group) SearchBatch(ctx context.Context, queries [][]string) ([][]GroupResult, []Stats, error) {
+	results := make([][]GroupResult, len(queries))
+	stats := make([]Stats, len(queries))
+	for i, q := range queries {
+		res, st, err := g.SearchContext(ctx, q)
+		stats[i] = st
+		if err != nil {
+			return nil, stats, err
+		}
+		results[i] = res
+	}
+	return results, stats, nil
+}
+
 // lead returns the engine with the largest vocabulary horizon — the newest
 // segment, whose repository view covers every token any segment indexed.
 func (g *Group) lead() *Engine {

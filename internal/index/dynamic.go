@@ -17,6 +17,14 @@ type Syncer interface {
 	Sync()
 }
 
+// SimCached marks a NeighborSource that can consult a shared cross-query
+// similarity cache (sim.PairCache, DESIGN.md §9). The segment manager wires
+// one cache into the source it builds; sources without the hook simply
+// recompute every similarity.
+type SimCached interface {
+	SetSimCache(*sim.PairCache)
+}
+
 // QueryVocabBound marks a NeighborSource whose retrieval requires the query
 // element itself to be an indexed token — vector indexes, where an
 // unindexed element has no vector to search with. On such sources the
@@ -34,8 +42,9 @@ type QueryVocabBound interface {
 // tokens are retrievable immediately; neighbor IDs are global dictionary
 // IDs. Safe for concurrent use.
 type DynamicFunc struct {
-	dict *sets.Dictionary
-	fn   sim.Func
+	dict  *sets.Dictionary
+	fn    sim.Func
+	cache *sim.PairCache
 }
 
 // NewDynamicFunc builds a dynamic threshold-scan source over dict.
@@ -43,17 +52,47 @@ func NewDynamicFunc(dict *sets.Dictionary, fn sim.Func) *DynamicFunc {
 	return &DynamicFunc{dict: dict, fn: fn}
 }
 
+// SetSimCache implements SimCached: subsequent scans consult (and fill) the
+// shared pair cache instead of re-evaluating the similarity function.
+func (f *DynamicFunc) SetSimCache(c *sim.PairCache) { f.cache = c }
+
 // Neighbors implements NeighborSource over the dictionary's current
-// snapshot.
+// snapshot. With a pair cache attached, each (query token, vocabulary
+// token) evaluation is memoized by ID pair — sound because dictionary IDs
+// are append-only and fn is pure, so a hit replays the exact value fn
+// would return. A query element outside the dictionary has no ID to key
+// on and is always computed directly.
 func (f *DynamicFunc) Neighbors(q string, alpha float64) []Neighbor {
 	var out []Neighbor
+	cache := f.cache
+	qid := int32(-1)
+	if cache != nil {
+		qid = f.dict.Lookup(q)
+	}
+	var hits, misses int64
 	for vi, tok := range f.dict.Snapshot() {
 		if tok == q {
 			continue
 		}
-		if s := f.fn.Sim(q, tok); s >= alpha {
+		var s float64
+		if cache != nil && qid >= 0 {
+			var ok bool
+			if s, ok = cache.Lookup(qid, int32(vi)); ok {
+				hits++
+			} else {
+				misses++
+				s = f.fn.Sim(q, tok)
+				cache.Put(qid, int32(vi), s)
+			}
+		} else {
+			s = f.fn.Sim(q, tok)
+		}
+		if s >= alpha {
 			out = append(out, Neighbor{Token: tok, Sim: s, ID: int32(vi)})
 		}
+	}
+	if cache != nil && qid >= 0 {
+		cache.AddLookups(hits, misses)
 	}
 	sortNeighbors(out)
 	return out
@@ -73,6 +112,7 @@ type DynamicExact struct {
 	dict  *sets.Dictionary
 	vec   func(string) ([]float32, bool)
 	batch int
+	cache *sim.PairCache
 
 	mu      sync.RWMutex
 	synced  int // dictionary prefix length already consumed
@@ -93,6 +133,11 @@ func NewDynamicExact(dict *sets.Dictionary, vec func(string) ([]float32, bool)) 
 // QueryVocabBound marks the index as requiring indexed query elements
 // (cosine retrieval needs the query element's vector).
 func (e *DynamicExact) QueryVocabBound() {}
+
+// SetSimCache implements SimCached: retrieval memoizes dot products by
+// dictionary-ID pair. Wire the cache before serving searches (the field is
+// read without synchronization on the scan path).
+func (e *DynamicExact) SetSimCache(c *sim.PairCache) { e.cache = c }
 
 // Sync implements Syncer: it indexes dictionary tokens interned since the
 // last call. Cheap when already current (one read-locked length check).
@@ -144,7 +189,10 @@ func (e *DynamicExact) Neighbors(q string, alpha float64) []Neighbor {
 		return nil // out-of-vocabulary query element: no semantic neighbors
 	}
 	qv := vecs[qi]
+	qid := ids[qi]
+	cache := e.cache
 	var out []Neighbor
+	var hits, misses int64
 	for start := 0; start < len(tokens); start += e.batch {
 		end := start + e.batch
 		if end > len(tokens) {
@@ -154,10 +202,26 @@ func (e *DynamicExact) Neighbors(q string, alpha float64) []Neighbor {
 			if i == qi {
 				continue
 			}
-			if s := sim.Dot(qv, vecs[i]); s >= alpha {
+			var s float64
+			if cache != nil {
+				var ok bool
+				if s, ok = cache.Lookup(qid, ids[i]); ok {
+					hits++
+				} else {
+					misses++
+					s = sim.Dot(qv, vecs[i])
+					cache.Put(qid, ids[i], s)
+				}
+			} else {
+				s = sim.Dot(qv, vecs[i])
+			}
+			if s >= alpha {
 				out = append(out, Neighbor{Token: tokens[i], Sim: s, ID: ids[i]})
 			}
 		}
+	}
+	if cache != nil {
+		cache.AddLookups(hits, misses)
 	}
 	sortNeighbors(out)
 	return out

@@ -7,7 +7,6 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
-	"repro/internal/index"
 	"repro/internal/sets"
 	"repro/internal/store"
 )
@@ -97,9 +96,7 @@ func recoverDir(dir string, man *store.Manifest, build SourceBuilder, opts core.
 		dictFile: man.Dict,
 		dictN:    len(tokens),
 	}
-	m.src = build(dict)
-	m.dyn, _ = m.src.(index.Syncer)
-	_, m.probeLiveOnly = m.src.(index.QueryVocabBound)
+	m.wireSource(build)
 
 	m.nextHandle = man.NextHandle
 	for _, ms := range man.Segments {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/sets"
+	"repro/internal/sim"
 	"repro/internal/store"
 )
 
@@ -83,6 +84,13 @@ type Config struct {
 	// process crashes are always covered; surviving power loss of the
 	// last few operations costs an fsync per write.
 	SyncWAL bool
+	// SimCacheSize bounds the cross-query similarity cache (entries)
+	// wired into sources that support it (index.SimCached): repeated
+	// (query token, vocabulary token) evaluations across queries become
+	// map probes (DESIGN.md §9). 0 selects sim.DefaultPairCacheSize;
+	// negative disables the cache. Cached values cannot change results:
+	// dictionary IDs are append-only and similarity functions are pure.
+	SimCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +181,9 @@ type Manager struct {
 	probeLiveOnly bool
 	opts          core.Options
 	cfg           Config
+	// simCache is the cross-query similarity cache shared by every search
+	// (nil when the source cannot consume one or SimCacheSize < 0).
+	simCache *sim.PairCache
 
 	mu         sync.Mutex // writer lock; never held by Search
 	sealed     []*seg     // oldest first
@@ -227,9 +238,7 @@ func NewManager(seed []sets.Set, build SourceBuilder, opts core.Options, cfg Con
 	if len(seed) > 0 {
 		repo = sets.NewSegment(m.dict, seed)
 	}
-	m.src = build(m.dict)
-	m.dyn, _ = m.src.(index.Syncer)
-	_, m.probeLiveOnly = m.src.(index.QueryVocabBound)
+	m.wireSource(build)
 	if repo != nil {
 		s := &seg{
 			repo:       repo,
@@ -256,6 +265,23 @@ func NewManager(seed []sets.Set, build SourceBuilder, opts core.Options, cfg Con
 	m.publishLocked()
 	return m
 }
+
+// wireSource builds the similarity source over the shared dictionary and
+// attaches the cross-query similarity cache when the source supports it.
+// Runs single-threaded during construction/recovery, before any search.
+func (m *Manager) wireSource(build SourceBuilder) {
+	m.src = build(m.dict)
+	m.dyn, _ = m.src.(index.Syncer)
+	_, m.probeLiveOnly = m.src.(index.QueryVocabBound)
+	if sc, ok := m.src.(index.SimCached); ok && m.cfg.SimCacheSize >= 0 {
+		m.simCache = sim.NewPairCache(m.cfg.SimCacheSize)
+		sc.SetSimCache(m.simCache)
+	}
+}
+
+// SimCacheStats snapshots the cross-query similarity cache counters
+// (zeros when no cache is wired).
+func (m *Manager) SimCacheStats() sim.CacheStats { return m.simCache.Stats() }
 
 // Mutable reports whether Insert is supported (the similarity index can
 // follow the growing dictionary). Delete works either way.
@@ -717,13 +743,23 @@ func (m *Manager) Close() error {
 	return err
 }
 
-// Search runs the top-k semantic overlap search against the current
-// snapshot. k ≤ 0 uses the manager's default; a different k rebuilds the
-// snapshot's engines for that k (k shapes pruning thresholds), sharing the
-// immutable repositories and source. Search never blocks on writers and
-// holds no locks: mutations committed after the snapshot load are simply
-// not observed.
-func (m *Manager) Search(ctx context.Context, query []string, k int) ([]Result, core.Stats, error) {
+// View is a consistent, immutable read handle on the collection: every
+// search through one View observes the exact same segment/tombstone state,
+// no matter how many mutations commit in the meantime. Acquiring a View is
+// an atomic snapshot load (plus per-k engine rebuilds when k differs from
+// the manager default); it holds no locks and pins no writer resources, so
+// a View may be kept for the duration of a batch and discarded by letting
+// it go out of scope.
+type View struct {
+	segs  []*seg
+	group *core.Group
+}
+
+// AcquireView captures the current collection snapshot for one or more
+// searches at result size k (k ≤ 0 uses the manager's default; a different
+// k rebuilds the snapshot's engines for that k once, amortized across all
+// searches through the View).
+func (m *Manager) AcquireView(k int) *View {
 	sp := m.snap.Load()
 	engines := make([]*core.Engine, len(sp.segs))
 	if k > 0 && k != m.opts.K {
@@ -737,20 +773,104 @@ func (m *Manager) Search(ctx context.Context, query []string, k int) ([]Result, 
 			engines[i] = s.eng
 		}
 	}
-	g := &core.Group{Engines: engines, Dead: sp.dead, LiveTokens: sp.live, ProbeLiveOnly: m.probeLiveOnly}
-	gres, stats, err := g.SearchContext(ctx, query)
+	return &View{
+		segs:  sp.segs,
+		group: &core.Group{Engines: engines, Dead: sp.dead, LiveTokens: sp.live, ProbeLiveOnly: m.probeLiveOnly},
+	}
+}
+
+// Search runs one top-k search against the View's snapshot. Safe for
+// concurrent use: the View is immutable.
+func (v *View) Search(ctx context.Context, query []string) ([]Result, core.Stats, error) {
+	gres, stats, err := v.group.SearchContext(ctx, query)
 	if err != nil {
 		return nil, stats, err
 	}
+	return v.resolve(gres), stats, nil
+}
+
+// resolve maps group results (segment, local) back to stable handles/names.
+func (v *View) resolve(gres []core.GroupResult) []Result {
 	out := make([]Result, len(gres))
 	for i, r := range gres {
-		s := sp.segs[r.Seg]
+		s := v.segs[r.Seg]
 		out[i] = Result{
 			ID:       s.handles[r.Local],
 			Name:     s.repo.Set(r.Local).Name,
 			Score:    r.Score,
 			Verified: r.Verified,
 		}
+	}
+	return out
+}
+
+// Search runs the top-k semantic overlap search against the current
+// snapshot. k ≤ 0 uses the manager's default; a different k rebuilds the
+// snapshot's engines for that k (k shapes pruning thresholds), sharing the
+// immutable repositories and source. Search never blocks on writers and
+// holds no locks: mutations committed after the snapshot load are simply
+// not observed.
+func (m *Manager) Search(ctx context.Context, query []string, k int) ([]Result, core.Stats, error) {
+	return m.AcquireView(k).Search(ctx, query)
+}
+
+// SearchBatch answers a slice of queries against one consistent snapshot,
+// returning per-query results and statistics in input order. Every query
+// sees the same collection state — mutations committed mid-batch are not
+// observed by any of them — and each query's results are byte-identical to
+// a Search against that state (queries are independent and deterministic
+// per snapshot, so execution order cannot change them). workers > 1 runs up
+// to that many queries concurrently; ≤ 1 runs them sequentially through
+// core.Group's batch path. On cancellation the batch returns ctx's error.
+func (m *Manager) SearchBatch(ctx context.Context, queries [][]string, k, workers int) ([][]Result, []core.Stats, error) {
+	v := m.AcquireView(k)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		gres, stats, err := v.group.SearchBatch(ctx, queries)
+		if err != nil {
+			return nil, stats, err
+		}
+		out := make([][]Result, len(gres))
+		for i, g := range gres {
+			out[i] = v.resolve(g)
+		}
+		return out, stats, nil
+	}
+
+	out := make([][]Result, len(queries))
+	stats := make([]core.Stats, len(queries))
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		batchErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				res, st, err := v.Search(bctx, queries[i])
+				stats[i] = st
+				if err != nil {
+					errOnce.Do(func() { batchErr = err; cancel() })
+					return
+				}
+				out[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if batchErr != nil {
+		return nil, stats, batchErr
 	}
 	return out, stats, nil
 }

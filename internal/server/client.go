@@ -34,6 +34,19 @@ func (c *Client) Search(query []string, k int) (*SearchResponse, error) {
 	return &out, nil
 }
 
+// SearchBatch runs a slice of queries against one consistent collection
+// snapshot, returning per-query entries in input order. k=0 uses the server
+// default for every query. An entry with a non-empty Error (its query hit
+// the server's per-query timeout) does not fail the batch — check entries
+// individually.
+func (c *Client) SearchBatch(queries [][]string, k int) (*BatchSearchResponse, error) {
+	var out BatchSearchResponse
+	if err := c.post("/v1/search/batch", BatchSearchRequest{Queries: queries, K: k}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Overlap computes pairwise measures of two sets.
 func (c *Client) Overlap(a, b []string) (*OverlapResponse, error) {
 	var out OverlapResponse

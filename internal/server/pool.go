@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// workerPool bounds the number of searches executing concurrently across
+// all requests — single and batch — so a traffic spike degrades into
+// queueing instead of unbounded goroutine/CPU oversubscription (each search
+// already fans out across partitions internally). A slot is held for the
+// duration of one query; batch requests acquire one slot per query, which
+// lets a batch use the whole pool when it is idle and interleave fairly
+// with single queries when it is not.
+//
+// The pool also owns the serving telemetry: queue depth and cumulative
+// queue wait, queries completed and timed out, and a fixed ring of recent
+// query latencies from which /v1/info derives p50/p95/p99.
+type workerPool struct {
+	sem chan struct{}
+
+	queued   atomic.Int64 // waiting for a slot right now
+	active   atomic.Int64 // holding a slot right now
+	queries  atomic.Int64 // queries completed (single + per batch entry)
+	batches  atomic.Int64 // batch requests completed
+	timeouts atomic.Int64 // queries that hit the per-query timeout
+	waitNS   atomic.Int64 // cumulative time spent waiting for a slot
+
+	// lat is a lock-free ring of the most recent query latencies in
+	// nanoseconds; pos is the total number of recordings ever made.
+	lat [latRingSize]atomic.Int64
+	pos atomic.Int64
+}
+
+const latRingSize = 1024
+
+func newWorkerPool(workers int) *workerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &workerPool{sem: make(chan struct{}, workers)}
+}
+
+func (p *workerPool) size() int { return cap(p.sem) }
+
+// acquire blocks until a worker slot is free or ctx is done, accounting the
+// queue wait either way.
+func (p *workerPool) acquire(ctx context.Context) error {
+	p.queued.Add(1)
+	start := time.Now()
+	defer func() {
+		p.queued.Add(-1)
+		p.waitNS.Add(int64(time.Since(start)))
+	}()
+	select {
+	case p.sem <- struct{}{}:
+		p.active.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot and records the query's latency.
+func (p *workerPool) release(latency time.Duration) {
+	p.active.Add(-1)
+	<-p.sem
+	slot := (p.pos.Add(1) - 1) % latRingSize
+	p.lat[slot].Store(int64(latency))
+	p.queries.Add(1)
+}
+
+// percentiles snapshots the latency ring and returns the p50/p95/p99 query
+// latencies. Recordings racing the snapshot can tear across ring slots;
+// each slot read is atomic, so the worst case is mixing latencies from
+// adjacent queries — fine for telemetry.
+func (p *workerPool) percentiles() (p50, p95, p99 time.Duration) {
+	n := p.pos.Load()
+	if n > latRingSize {
+		n = latRingSize
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = p.lat[i].Load()
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	pick := func(q float64) time.Duration {
+		idx := int(q * float64(n-1))
+		return time.Duration(vals[idx])
+	}
+	return pick(0.50), pick(0.95), pick(0.99)
+}

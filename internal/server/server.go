@@ -8,24 +8,34 @@
 // Endpoints:
 //
 //	POST   /v1/search        {"query": [...], "k": 5}          → top-k results + stats
+//	POST   /v1/search/batch  {"queries": [[...], ...], "k": 5} → per-query results (or per-entry errors) against one snapshot
 //	POST   /v1/overlap       {"a": [...], "b": [...]}          → pairwise measures
 //	POST   /v1/sets          {"name": "...", "elements": [..]} → insert/replace a set
 //	GET    /v1/sets/{name}                                      → fetch a live set (404 if unknown/deleted)
 //	DELETE /v1/sets/{name}                                      → delete a set
-//	GET    /v1/info                                             → collection + segment metadata
+//	GET    /v1/info                                             → collection + segment + throughput metadata
 //	GET    /healthz                                             → liveness
+//
+// Searches run through a bounded worker pool (DESIGN.md §9): at most
+// Config.SearchWorkers queries execute at once, the rest queue; every query
+// gets its own timeout, and /v1/info exposes queue depth and latency
+// percentiles so operators can see the pool saturating before clients do.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/matching"
 	"repro/internal/segment"
+	"repro/internal/sim"
 )
 
 // Config parameterizes the served engine.
@@ -44,6 +54,18 @@ type Config struct {
 	// MaxQueryElements rejects oversized queries and inserted sets.
 	// Default 100000.
 	MaxQueryElements int
+	// SearchWorkers bounds concurrently executing searches across all
+	// requests (the worker pool size). Queries beyond the limit queue until
+	// a slot frees. Default: GOMAXPROCS.
+	SearchWorkers int
+	// QueryTimeout bounds each query end to end — worker-pool queue wait
+	// plus execution, batch entries individually. An expired single query
+	// answers 504; an expired batch entry reports the error in place while
+	// the rest of the batch completes. 0 disables the limit.
+	QueryTimeout time.Duration
+	// MaxBatchQueries caps the number of queries in one batch request.
+	// Default 256.
+	MaxBatchQueries int
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +81,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueryElements <= 0 {
 		c.MaxQueryElements = 100000
 	}
+	if c.MaxBatchQueries <= 0 {
+		c.MaxBatchQueries = 256
+	}
 	return c
 }
 
@@ -67,6 +92,7 @@ type Server struct {
 	cfg   Config
 	mgr   *segment.Manager
 	mux   *http.ServeMux
+	pool  *workerPool
 	start time.Time
 }
 
@@ -86,9 +112,11 @@ func New(mgr *segment.Manager, cfg Config) *Server {
 		cfg:   cfg,
 		mgr:   mgr,
 		mux:   http.NewServeMux(),
+		pool:  newWorkerPool(cfg.SearchWorkers),
 		start: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("POST /v1/overlap", s.handleOverlap)
 	s.mux.HandleFunc("POST /v1/sets", s.handleInsert)
 	s.mux.HandleFunc("GET /v1/sets/{name}", s.handleGetSet)
@@ -138,37 +166,59 @@ type SearchStats struct {
 	MemoryBytes  int64 `json:"memory_bytes"`
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	var req SearchRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		return
-	}
-	if len(req.Query) == 0 {
-		httpError(w, http.StatusBadRequest, "query must not be empty")
-		return
-	}
-	if len(req.Query) > s.cfg.MaxQueryElements {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("query has %d elements, limit %d", len(req.Query), s.cfg.MaxQueryElements))
-		return
-	}
-	k := req.K
+// validateK resolves the request's k against the server default and cap,
+// reporting whether it is acceptable (the error is already written if not).
+func (s *Server) validateK(w http.ResponseWriter, k int) (int, bool) {
 	switch {
 	case k == 0:
-		k = s.cfg.K
+		return s.cfg.K, true
 	case k < 0 || k > s.cfg.MaxK:
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("k=%d outside [1,%d]", k, s.cfg.MaxK))
-		return
+		return 0, false
 	}
+	return k, true
+}
 
-	// The search honors the request context: a client that hangs up stops
-	// the refinement/post-processing loops at their next checkpoint.
-	results, stats, err := s.mgr.Search(r.Context(), req.Query, k)
-	if err != nil {
-		// The client is gone; nothing useful can be written. 499 in the
-		// nginx tradition, for any middleware that still logs the status.
-		w.WriteHeader(499)
+// validateQuery checks one query's shape (the error is already written when
+// it returns false).
+func (s *Server) validateQuery(w http.ResponseWriter, query []string, label string) bool {
+	if len(query) == 0 {
+		httpError(w, http.StatusBadRequest, label+" must not be empty")
+		return false
+	}
+	if len(query) > s.cfg.MaxQueryElements {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("%s has %d elements, limit %d", label, len(query), s.cfg.MaxQueryElements))
+		return false
+	}
+	return true
+}
+
+// queryContext derives one query's context: the request context (client
+// hang-ups cancel the search) plus the per-query timeout. The deadline is
+// taken before the worker-pool acquire so it covers queue wait too — under
+// overload the queue is exactly where the time goes, and a queued request
+// must still answer 504 rather than wait unboundedly.
+func (s *Server) queryContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.QueryTimeout <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, s.cfg.QueryTimeout)
+}
+
+// searchFailed writes the response for a failed search: 504 when the
+// per-query timeout expired, otherwise the client is gone — 499 in the
+// nginx tradition, for any middleware that still logs the status.
+func (s *Server) searchFailed(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.pool.timeouts.Add(1)
+		httpError(w, http.StatusGatewayTimeout, fmt.Sprintf("query exceeded the %v per-query timeout", s.cfg.QueryTimeout))
 		return
 	}
+	w.WriteHeader(499)
+}
+
+// buildSearchResponse converts engine results and stats to the wire form.
+func buildSearchResponse(results []segment.Result, stats *core.Stats) SearchResponse {
 	resp := SearchResponse{
 		Results: make([]SearchResult, len(results)),
 		Stats: SearchStats{
@@ -192,7 +242,129 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Verified: res.Verified,
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if !s.validateQuery(w, req.Query, "query") {
+		return
+	}
+	k, ok := s.validateK(w, req.K)
+	if !ok {
+		return
+	}
+
+	// One pool slot per query: concurrent requests beyond the pool size
+	// queue here instead of oversubscribing the CPU. The per-query deadline
+	// spans the queue wait and the search.
+	qctx, cancel := s.queryContext(r.Context())
+	defer cancel()
+	if err := s.pool.acquire(qctx); err != nil {
+		s.searchFailed(w, err)
+		return
+	}
+	start := time.Now()
+	results, stats, err := s.mgr.Search(qctx, req.Query, k)
+	s.pool.release(time.Since(start))
+	if err != nil {
+		s.searchFailed(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, buildSearchResponse(results, &stats))
+}
+
+// BatchSearchRequest is the body of POST /v1/search/batch: a slice of
+// queries answered against one consistent collection snapshot.
+type BatchSearchRequest struct {
+	Queries [][]string `json:"queries"`
+	// K overrides the server default for every query in the batch.
+	K int `json:"k,omitempty"`
+}
+
+// BatchSearchEntry is one query's outcome inside a batch: results and
+// stats on success, or a non-empty Error (e.g. the per-query timeout
+// expired for this entry) with the rest of the batch unaffected.
+type BatchSearchEntry struct {
+	SearchResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchSearchResponse carries one entry per batch query, in request order.
+type BatchSearchResponse struct {
+	Results []BatchSearchEntry `json:"results"`
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSearchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "queries must not be empty")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatchQueries {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch has %d queries, limit %d", len(req.Queries), s.cfg.MaxBatchQueries))
+		return
+	}
+	for i, q := range req.Queries {
+		if !s.validateQuery(w, q, fmt.Sprintf("queries[%d]", i)) {
+			return
+		}
+	}
+	k, ok := s.validateK(w, req.K)
+	if !ok {
+		return
+	}
+
+	// One view for the whole batch: every query sees the same collection
+	// state, and per-query results are byte-identical to single searches
+	// against that state. Queries fan out through the shared worker pool —
+	// a batch soaks up idle slots but cannot starve single queries beyond
+	// its fair share of the queue. The per-query timeout applies to each
+	// entry individually: an expired entry reports its error in place and
+	// the rest of the batch completes; only the client hanging up abandons
+	// the whole batch.
+	v := s.mgr.AcquireView(k)
+	resps := make([]BatchSearchEntry, len(req.Queries))
+	var wg sync.WaitGroup
+	for i := range req.Queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// The entry's deadline spans its queue wait and its search.
+			qctx, qcancel := s.queryContext(r.Context())
+			defer qcancel()
+			if err := s.pool.acquire(qctx); err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					s.pool.timeouts.Add(1)
+					resps[i] = BatchSearchEntry{Error: fmt.Sprintf("query exceeded the %v per-query timeout waiting for a worker", s.cfg.QueryTimeout)}
+				}
+				return // otherwise the client is gone; the response will never be read
+			}
+			start := time.Now()
+			results, stats, err := v.Search(qctx, req.Queries[i])
+			s.pool.release(time.Since(start))
+			switch {
+			case err == nil:
+				resps[i] = BatchSearchEntry{SearchResponse: buildSearchResponse(results, &stats)}
+			case errors.Is(err, context.DeadlineExceeded):
+				s.pool.timeouts.Add(1)
+				resps[i] = BatchSearchEntry{Error: fmt.Sprintf("query exceeded the %v per-query timeout", s.cfg.QueryTimeout)}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Context().Err() != nil {
+		w.WriteHeader(499)
+		return
+	}
+	s.pool.batches.Add(1)
+	writeJSON(w, http.StatusOK, BatchSearchResponse{Results: resps})
 }
 
 // InsertRequest is the body of POST /v1/sets.
@@ -359,10 +531,39 @@ type InfoResponse struct {
 	Tombstones   int     `json:"tombstones"`
 	Mutable      bool    `json:"mutable"`
 	UptimeSec    float64 `json:"uptime_sec"`
+	// Throughput reports the search worker pool: pool size, current
+	// occupancy and queue depth, totals, per-query timeout hits, and
+	// latency percentiles over the most recent queries.
+	Throughput ThroughputInfo `json:"throughput"`
+	// SimCache reports the cross-query similarity cache (all zeros when
+	// the cache is disabled).
+	SimCache SimCacheInfo `json:"sim_cache"`
+}
+
+// ThroughputInfo is the worker-pool section of /v1/info.
+type ThroughputInfo struct {
+	SearchWorkers  int   `json:"search_workers"`
+	InFlight       int64 `json:"in_flight"`
+	QueueDepth     int64 `json:"queue_depth"`
+	QueriesTotal   int64 `json:"queries_total"`
+	BatchesTotal   int64 `json:"batches_total"`
+	TimeoutsTotal  int64 `json:"timeouts_total"`
+	QueueWaitUSSum int64 `json:"queue_wait_us_sum"`
+	LatencyP50US   int64 `json:"latency_p50_us"`
+	LatencyP95US   int64 `json:"latency_p95_us"`
+	LatencyP99US   int64 `json:"latency_p99_us"`
+}
+
+// SimCacheInfo is the similarity-cache section of /v1/info.
+type SimCacheInfo struct {
+	sim.CacheStats
+	HitRate float64 `json:"hit_rate"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	sealed, memSets, tombstones := s.mgr.Segments()
+	p50, p95, p99 := s.pool.percentiles()
+	cs := s.mgr.SimCacheStats()
 	writeJSON(w, http.StatusOK, InfoResponse{
 		Sets:         s.mgr.Len(),
 		Vocabulary:   s.mgr.VocabSize(),
@@ -374,6 +575,19 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Tombstones:   tombstones,
 		Mutable:      s.mgr.Mutable(),
 		UptimeSec:    time.Since(s.start).Seconds(),
+		Throughput: ThroughputInfo{
+			SearchWorkers:  s.pool.size(),
+			InFlight:       s.pool.active.Load(),
+			QueueDepth:     s.pool.queued.Load(),
+			QueriesTotal:   s.pool.queries.Load(),
+			BatchesTotal:   s.pool.batches.Load(),
+			TimeoutsTotal:  s.pool.timeouts.Load(),
+			QueueWaitUSSum: s.pool.waitNS.Load() / 1e3,
+			LatencyP50US:   p50.Microseconds(),
+			LatencyP95US:   p95.Microseconds(),
+			LatencyP99US:   p99.Microseconds(),
+		},
+		SimCache: SimCacheInfo{CacheStats: cs, HitRate: cs.HitRate()},
 	})
 }
 

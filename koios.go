@@ -80,6 +80,16 @@ type Config struct {
 	// Close and process crashes are always covered; SyncWAL additionally
 	// covers power loss at one fsync per write.
 	SyncWAL bool
+	// SimCache bounds the cross-query similarity cache in entries: token
+	// pairs whose similarity was computed for one query are reused by every
+	// later query (DESIGN.md §9). 0 selects the default size (~1M entries);
+	// negative disables caching. Cached values cannot change scores — token
+	// IDs are append-only and similarity functions are pure, so a hit
+	// replays exactly the value a recomputation would produce.
+	SimCache int
+	// BatchWorkers bounds concurrent queries inside one SearchBatch call
+	// (default 1: queries run sequentially against the shared snapshot).
+	BatchWorkers int
 }
 
 func (c Config) coreOptions() core.Options {
@@ -113,14 +123,19 @@ type Result struct {
 // tables of EXPERIMENTS.md.
 type Stats = core.Stats
 
+// CacheStats snapshots the cross-query similarity cache: hit/miss/eviction
+// counters and current size. All zeros when the cache is disabled.
+type CacheStats = sim.CacheStats
+
 // Engine answers top-k semantic overlap queries over a mutable collection
 // served from immutable segments (DESIGN.md §4). Engines are safe for
 // concurrent use: any number of Search calls may run while Insert, Delete,
 // and background compaction mutate the collection — each search runs
 // against a consistent snapshot and never blocks on writers.
 type Engine struct {
-	mgr   *segment.Manager
-	alpha float64
+	mgr          *segment.Manager
+	alpha        float64
+	batchWorkers int
 }
 
 // New builds an engine whose token index is a threshold scan under fn —
@@ -163,8 +178,9 @@ func newEngine(collection []Set, cfg Config, build segment.SourceBuilder) *Engin
 	mgr := segment.NewManager(raw, build, opts, segment.Config{
 		SealThreshold: cfg.SealThreshold,
 		MaxSegments:   cfg.MaxSegments,
+		SimCacheSize:  cfg.SimCache,
 	})
-	return &Engine{mgr: mgr, alpha: opts.Alpha}
+	return &Engine{mgr: mgr, alpha: opts.Alpha, batchWorkers: cfg.BatchWorkers}
 }
 
 // Open builds a durable engine rooted at dir with a threshold-scan token
@@ -199,11 +215,12 @@ func openEngine(dir string, collection []Set, cfg Config, build segment.SourceBu
 		SealThreshold: cfg.SealThreshold,
 		MaxSegments:   cfg.MaxSegments,
 		SyncWAL:       cfg.SyncWAL,
+		SimCacheSize:  cfg.SimCache,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{mgr: mgr, alpha: opts.Alpha}, nil
+	return &Engine{mgr: mgr, alpha: opts.Alpha, batchWorkers: cfg.BatchWorkers}, nil
 }
 
 // Search returns the top-k sets by semantic overlap with query, best first,
@@ -227,6 +244,32 @@ func (e *Engine) SearchContext(ctx context.Context, query []string) ([]Result, S
 	}
 	return out, stats, nil
 }
+
+// SearchBatch answers a slice of queries against one consistent snapshot of
+// the collection: every query observes the same state (mutations committed
+// mid-batch are invisible to all of them) and returns results and scores
+// byte-identical to a Search issued against that state. Per-query results
+// and stats come back in input order. Config.BatchWorkers > 1 runs that
+// many queries concurrently; the default is sequential. On cancellation the
+// batch stops and returns ctx's error.
+func (e *Engine) SearchBatch(ctx context.Context, queries [][]string) ([][]Result, []Stats, error) {
+	raw, stats, err := e.mgr.SearchBatch(ctx, queries, 0, e.batchWorkers)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([][]Result, len(raw))
+	for i, qres := range raw {
+		out[i] = make([]Result, len(qres))
+		for j, r := range qres {
+			out[i][j] = Result{SetID: int(r.ID), SetName: r.Name, Score: r.Score, Verified: r.Verified}
+		}
+	}
+	return out, stats, nil
+}
+
+// SimCacheStats snapshots the cross-query similarity cache counters
+// (all zeros when the cache is disabled via Config.SimCache < 0).
+func (e *Engine) SimCacheStats() CacheStats { return e.mgr.SimCacheStats() }
 
 // Insert adds a set to the collection and returns its SetID (a stable
 // handle: seed sets keep their construction index, inserted sets get the

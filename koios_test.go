@@ -412,3 +412,53 @@ func TestApproximateSources(t *testing.T) {
 		t.Fatalf("HNSW top-1 %v below self overlap", rh[0].Score)
 	}
 }
+
+func TestSearchBatchPublicAPI(t *testing.T) {
+	ds, err := GenerateDataset("twitter", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewWithVectors(ds.Collection, ds.Vectors, Config{K: 5, Alpha: 0.8, BatchWorkers: 3})
+	queries := [][]string{
+		ds.Collection[0].Elements,
+		ds.Collection[3].Elements,
+		ds.Collection[0].Elements, // repeated: the sim cache's hit source
+		ds.Collection[7].Elements,
+	}
+	batch, stats, err := eng.SearchBatch(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) || len(stats) != len(queries) {
+		t.Fatalf("batch returned %d results / %d stats for %d queries", len(batch), len(stats), len(queries))
+	}
+	for i, q := range queries {
+		want, _ := eng.Search(q)
+		if len(batch[i]) != len(want) {
+			t.Fatalf("query %d: batch %d results, serial %d", i, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("query %d rank %d: batch %+v, serial %+v", i, j, batch[i][j], want[j])
+			}
+		}
+	}
+	// The repeated query means the shared similarity cache must have hits.
+	if cs := eng.SimCacheStats(); cs.Hits == 0 {
+		t.Fatalf("sim cache stats report zero hits after repeated queries: %+v", cs)
+	}
+	// Canceled batches surface the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := eng.SearchBatch(ctx, queries); err == nil {
+		t.Fatal("canceled SearchBatch returned nil error")
+	}
+}
+
+func TestSimCacheDisabled(t *testing.T) {
+	eng := New(demoCollection(), newFigure1Sim(), Config{K: 2, Alpha: 0.7, SimCache: -1})
+	eng.Search(figure1Query)
+	if cs := eng.SimCacheStats(); cs != (CacheStats{}) {
+		t.Fatalf("disabled sim cache reports non-zero stats: %+v", cs)
+	}
+}
