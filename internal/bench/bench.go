@@ -87,6 +87,7 @@ func Experiments() []string {
 		"fig5a", "fig5bc", "fig5d", "fig6a", "fig6bc", "fig6d",
 		"fig7a", "fig7b", "fig7c", "fig7d", "fig8",
 		"silkmoth", "ablation", "mixed", "recovery", "throughput",
+		"lazystream",
 	}
 }
 
@@ -145,6 +146,8 @@ func (r *Runner) Run(exp string) error {
 		r.RecoveryWorkload()
 	case "throughput":
 		return r.Throughput()
+	case "lazystream":
+		return r.LazyStream()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (want one of %v)", exp, Experiments())
 	}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 )
 
@@ -15,15 +16,36 @@ import (
 // and allocator traffic from testing.Benchmark plus the engine's own work
 // and footprint accounting for the same query.
 type PerfEntry struct {
-	Kind           string  `json:"kind"`
-	NsPerOp        int64   `json:"ns_per_op"`
-	BytesPerOp     int64   `json:"bytes_per_op"`
-	AllocsPerOp    int64   `json:"allocs_per_op"`
-	StreamTuples   int     `json:"stream_tuples"`
-	Candidates     int     `json:"candidates"`
-	IUBPrunedFrac  float64 `json:"iub_pruned_frac"`
-	FootprintBytes int64   `json:"query_footprint_bytes"`
-	IndexBytes     int64   `json:"inverted_index_bytes"`
+	Kind          string  `json:"kind"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	StreamTuples  int     `json:"stream_tuples"`
+	Candidates    int     `json:"candidates"`
+	IUBPrunedFrac float64 `json:"iub_pruned_frac"`
+	// StreamRetrieved and StreamCut record the lazy token stream's
+	// retrieval count and whether the measured query cut the stream early
+	// (DESIGN.md §10); EagerNsPerOp and EagerStreamTuples are the same
+	// query measured with the cut-off disabled, so the recorded baseline
+	// documents the lazy-vs-eager delta for the gated protocol.
+	StreamRetrieved   int   `json:"stream_retrieved"`
+	StreamCut         bool  `json:"stream_cut"`
+	EagerNsPerOp      int64 `json:"eager_ns_per_op"`
+	EagerStreamTuples int   `json:"eager_stream_tuples"`
+	FootprintBytes    int64 `json:"query_footprint_bytes"`
+	IndexBytes        int64 `json:"inverted_index_bytes"`
+}
+
+// StreamSavings is one dataset kind's lazy-stream outcome over the FULL
+// benchmark query set (the single-query entries above pin one arbitrary
+// query; the cut-off's savings vary per query): how many queries cut the
+// stream and the total tuples consumed lazy vs. eager.
+type StreamSavings struct {
+	Kind        string `json:"kind"`
+	Queries     int    `json:"queries"`
+	CutQueries  int    `json:"cut_queries"`
+	LazyTuples  int    `json:"lazy_stream_tuples"`
+	EagerTuples int    `json:"eager_stream_tuples"`
 }
 
 // PerfBaseline is a recorded performance snapshot (e.g. BENCH_*.json at the
@@ -38,6 +60,11 @@ type PerfBaseline struct {
 	Partitions int         `json:"partitions"`
 	Workers    int         `json:"workers"`
 	Queries    []PerfEntry `json:"single_query"`
+	// Streams records the workload-level lazy-stream savings per kind
+	// (absent in baselines recorded before the lazy refactor). ComparePerf
+	// does not gate on it — cut rates are workload properties, not
+	// regressions.
+	Streams []StreamSavings `json:"stream_savings,omitempty"`
 }
 
 // Perf measures one end-to-end engine query per dataset kind — the
@@ -55,6 +82,7 @@ func (r *Runner) Perf(label string) PerfBaseline {
 	for _, kind := range datagen.Kinds() {
 		b := r.bundleFor(kind)
 		eng := r.engineFor(b, nil)
+		eager := r.engineFor(b, func(o *core.Options) { o.DisableLazy = true })
 		q := b.bench.Queries[0].Elements
 		res := testing.Benchmark(func(tb *testing.B) {
 			tb.ReportAllocs()
@@ -62,24 +90,46 @@ func (r *Runner) Perf(label string) PerfBaseline {
 				eng.Search(q)
 			}
 		})
+		eagerRes := testing.Benchmark(func(tb *testing.B) {
+			for i := 0; i < tb.N; i++ {
+				eager.Search(q)
+			}
+		})
 		_, st := eng.Search(q)
+		_, est := eager.Search(q)
 		frac := 0.0
 		if st.Candidates > 0 {
 			frac = float64(st.IUBPruned) / float64(st.Candidates)
 		}
 		pb.Queries = append(pb.Queries, PerfEntry{
-			Kind:           string(kind),
-			NsPerOp:        res.NsPerOp(),
-			BytesPerOp:     res.AllocedBytesPerOp(),
-			AllocsPerOp:    res.AllocsPerOp(),
-			StreamTuples:   st.StreamTuples,
-			Candidates:     st.Candidates,
-			IUBPrunedFrac:  frac,
-			FootprintBytes: st.TotalBytes(),
-			IndexBytes:     b.inv.FootprintBytes(),
+			Kind:              string(kind),
+			NsPerOp:           res.NsPerOp(),
+			BytesPerOp:        res.AllocedBytesPerOp(),
+			AllocsPerOp:       res.AllocsPerOp(),
+			StreamTuples:      st.StreamTuples,
+			Candidates:        st.Candidates,
+			IUBPrunedFrac:     frac,
+			StreamRetrieved:   st.StreamRetrieved,
+			StreamCut:         st.StreamCut,
+			EagerNsPerOp:      eagerRes.NsPerOp(),
+			EagerStreamTuples: est.StreamTuples,
+			FootprintBytes:    st.TotalBytes(),
+			IndexBytes:        b.inv.FootprintBytes(),
 		})
-		r.printf("perf %-10s %12d ns/op %12d B/op %8d allocs/op\n",
-			kind, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+		sv := StreamSavings{Kind: string(kind), Queries: len(b.bench.Queries)}
+		for _, bq := range b.bench.Queries {
+			_, lst := eng.Search(bq.Elements)
+			_, bst := eager.Search(bq.Elements)
+			if lst.StreamCut {
+				sv.CutQueries++
+			}
+			sv.LazyTuples += lst.StreamTuples
+			sv.EagerTuples += bst.StreamTuples
+		}
+		pb.Streams = append(pb.Streams, sv)
+		r.printf("perf %-10s %12d ns/op %12d B/op %8d allocs/op  stream %d/%d tuples (%d/%d queries cut)\n",
+			kind, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp(),
+			sv.LazyTuples, sv.EagerTuples, sv.CutQueries, sv.Queries)
 	}
 	return pb
 }

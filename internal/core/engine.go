@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 	"sync"
 
 	"repro/internal/index"
@@ -40,6 +41,10 @@ type Engine struct {
 	// maxCard is the largest set cardinality per partition, which bounds
 	// the iUB bucket index space min(|Q|,|C|).
 	maxCard []int32
+	// cardOrder holds, per partition, the partition-local candidate indices
+	// sorted by descending cardinality — the lazy cut-off walks it to bound
+	// the largest still-unseen set (DESIGN.md §10).
+	cardOrder [][]int32
 	// scratch pools the vocabulary-sized per-query buffers (first-arrival
 	// bitset, edge-cache offsets) so per-query allocation scales with the
 	// stream, not with the vocabulary.
@@ -78,17 +83,24 @@ func NewEngine(repo *sets.Repository, src index.NeighborSource, opts Options) *E
 	e.localOf = make([]int32, repo.Len())
 	e.cOffs = make([][]int32, len(e.parts))
 	e.maxCard = make([]int32, len(e.parts))
+	e.cardOrder = make([][]int32, len(e.parts))
 	for p, part := range e.parts {
 		e.invs[p] = index.NewInvertedSubset(repo, part)
 		offs := make([]int32, len(part)+1)
+		order := make([]int32, len(part))
 		for l, sid := range part {
 			e.localOf[sid] = int32(l)
 			offs[l+1] = offs[l] + (e.card[sid]+63)/64
 			if e.card[sid] > e.maxCard[p] {
 				e.maxCard[p] = e.card[sid]
 			}
+			order[l] = int32(l)
 		}
+		sort.Slice(order, func(i, j int) bool {
+			return e.card[part[order[i]]] > e.card[part[order[j]]]
+		})
 		e.cOffs[p] = offs
+		e.cardOrder[p] = order
 	}
 	return e
 }
@@ -121,14 +133,27 @@ type qEdge struct {
 // token ID: token t's edges occupy arena[offsets[t-1]:offsets[t]] (0-based
 // for t = 0). Built in two flat allocations from the materialized stream —
 // no per-token slices, no string keys.
+//
+// When the token stream was cut off before exhaustion (DESIGN.md §10), the
+// CSR arena is missing every edge with similarity in [α, s_cut); comp then
+// overrides edges with full lists recomputed on demand through the pure
+// pair similarity — bit-identical to what the drained stream would have
+// cached, because the source's retrieval is exhaustive w.r.t. that
+// similarity (index.CompleteScorer).
 type edgeCache struct {
 	offsets []int32
 	arena   []qEdge
+	comp    *edgeCompleter
 }
 
-// edges returns the cached α-edges of a token ID. Every repository token ID
-// is a valid index (set elements define the vocabulary).
+// edges returns the α-edges of a token ID. Every repository token ID is a
+// valid index (set elements define the vocabulary). After a stream cut-off
+// the truncated CSR prefix is bypassed entirely: every consulted token goes
+// through on-demand completion.
 func (c *edgeCache) edges(tid int32) []qEdge {
+	if c.comp != nil {
+		return c.comp.edges(tid)
+	}
 	lo := int32(0)
 	if tid > 0 {
 		lo = c.offsets[tid-1]
@@ -163,54 +188,87 @@ func (e *Engine) SearchContext(ctx context.Context, query []string) ([]Result, S
 
 // materializeStream drains the token stream once, recording first-arrival
 // flags, then builds the similarity edge cache shared by all partitions in
-// CSR form with a counting pass over the materialized tuples. The tuple
-// slice is preallocated from the stream's known size bound (retrieved
-// α-neighbors plus one identity tuple per query element), first arrivals
-// are tracked with a token-ID bitset, and the vocabulary-sized buffers come
-// zeroed from the engine's scratch pool, so materialization performs no map
-// operations and a constant number of stream-sized allocations. The
-// returned cache aliases sc.offsets; the caller owns sc until it is done
-// with the cache.
+// CSR form with a counting pass over the materialized tuples — the eager
+// pipeline (the lazy pipeline pumps the stream incrementally instead; see
+// lazy.go). The tuple slice is preallocated from the stream's known size
+// bound (retrieved α-neighbors plus one identity tuple per query element),
+// first arrivals are tracked with a token-ID bitset, and the
+// vocabulary-sized buffers come zeroed from the engine's scratch pool, so
+// materialization performs no map operations and a constant number of
+// stream-sized allocations. It also returns the α-neighbor retrieval count
+// and the stream-side memory estimate. The returned cache aliases
+// sc.offsets; the caller owns sc until it is done with the cache.
 //
 // live and skip implement the segmented engine's live-token semantics
 // (both may be nil): tuples whose token occurs in no live set are demoted
 // to out-of-vocabulary, and skip-masked query elements are never probed —
 // together they make the stream identical to one an engine built only on
 // the live sets would produce.
-func (e *Engine) materializeStream(query []string, qids []int32, sc *queryScratch, live []uint64, skip []bool) ([]streamTuple, *edgeCache, int64) {
+func (e *Engine) materializeStream(query []string, qids []int32, sc *queryScratch, live []uint64, skip []bool) ([]streamTuple, *edgeCache, int, int64) {
 	st := index.NewStreamMasked(query, qids, e.src, e.opts.Alpha, skip)
 	tuples := make([]streamTuple, 0, st.Retrieved()+len(query))
-	seen := sc.seen
-	offsets := sc.offsets
 	for {
 		tup, ok := st.Next()
 		if !ok {
 			break
 		}
-		id := tup.TokenID
-		if int(id) >= e.vocabN {
-			// A source built over a superset of the repository vocabulary
-			// (e.g. a shared discovery source) annotates IDs past the
-			// dictionary; such tokens occur in no set, so they are
-			// out-of-vocabulary here.
-			id = -1
-		}
-		if id >= 0 && live != nil && live[id>>6]&(1<<(uint(id)&63)) == 0 {
-			// The token survives only in deleted sets: out of vocabulary,
-			// exactly as if the index had been rebuilt without them.
-			id = -1
-		}
-		first := true
-		if id >= 0 {
-			w, bit := id>>6, uint64(1)<<(uint(id)&63)
-			first = seen[w]&bit == 0
-			seen[w] |= bit
-			offsets[id]++
-		}
-		tuples = append(tuples, streamTuple{tokenID: id, qIdx: int32(tup.QIdx), sim: tup.Sim, first: first})
+		tuples = append(tuples, e.noteTuple(tup, sc, live))
 	}
-	// Prefix-sum the counts into fill cursors, fill the arena, and let the
-	// cursors land on the end offsets the accessor expects.
+	cache := e.buildEdgeCache(tuples, sc)
+	mem := int64(cap(tuples))*24 + int64(len(cache.arena))*16 + int64(len(sc.offsets))*4 + int64(len(sc.seen))*8
+	return tuples, cache, st.Retrieved(), mem
+}
+
+// drainStream finishes a cut stream into the tuple arena for edge-cache
+// building only — the appended tail never reaches the refiners, and the
+// cache's consumers (verification matrices, the bound replay) are
+// order-insensitive within a token's edge list, so the tail is pulled in
+// arbitrary order (Stream.DrainRest) without paying any ordering cost.
+// Annotation continues through the same scratch; the first-arrival flags of
+// tail tuples are meaningless, but nothing reads them (only refinement
+// does, and it never sees the tail). The cache CONTENT is bit-identical to
+// a full eager materialization.
+func (e *Engine) drainStream(st *index.Stream, tuples []streamTuple, sc *queryScratch, live []uint64) []streamTuple {
+	st.DrainRest(func(tup index.Tuple) {
+		tuples = append(tuples, e.noteTuple(tup, sc, live))
+	})
+	return tuples
+}
+
+// noteTuple annotates one raw stream tuple: vocabulary demotion, global
+// first-arrival tracking (through sc.seen), and per-token edge counting
+// (through sc.offsets). Shared by the eager drain above and the lazy block
+// pump, so both consume bit-identical tuple sequences.
+func (e *Engine) noteTuple(tup index.Tuple, sc *queryScratch, live []uint64) streamTuple {
+	id := tup.TokenID
+	if int(id) >= e.vocabN {
+		// A source built over a superset of the repository vocabulary
+		// (e.g. a shared discovery source) annotates IDs past the
+		// dictionary; such tokens occur in no set, so they are
+		// out-of-vocabulary here.
+		id = -1
+	}
+	if id >= 0 && live != nil && live[id>>6]&(1<<(uint(id)&63)) == 0 {
+		// The token survives only in deleted sets: out of vocabulary,
+		// exactly as if the index had been rebuilt without them.
+		id = -1
+	}
+	first := true
+	if id >= 0 {
+		w, bit := id>>6, uint64(1)<<(uint(id)&63)
+		first = sc.seen[w]&bit == 0
+		sc.seen[w] |= bit
+		sc.offsets[id]++
+	}
+	return streamTuple{tokenID: id, qIdx: int32(tup.QIdx), sim: tup.Sim, first: first}
+}
+
+// buildEdgeCache turns the consumed tuple prefix into the CSR edge cache:
+// prefix-sum the per-token counts in sc.offsets into fill cursors, fill the
+// arena, and let the cursors land on the end offsets the accessor expects.
+// The cache aliases sc.offsets; the caller owns sc until done with it.
+func (e *Engine) buildEdgeCache(tuples []streamTuple, sc *queryScratch) *edgeCache {
+	offsets := sc.offsets
 	total := int32(0)
 	for t, n := range offsets {
 		offsets[t] = total
@@ -226,9 +284,7 @@ func (e *Engine) materializeStream(query []string, qids []int32, sc *queryScratc
 		arena[at] = qEdge{qIdx: tup.qIdx, sim: tup.sim}
 		offsets[tup.tokenID] = at + 1
 	}
-	cache := &edgeCache{offsets: offsets, arena: arena}
-	mem := int64(cap(tuples))*24 + int64(len(arena))*16 + int64(len(offsets))*4 + int64(len(seen))*8
-	return tuples, cache, mem
+	return &edgeCache{offsets: offsets, arena: arena}
 }
 
 func dedupStrings(in []string) []string {

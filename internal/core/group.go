@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/index"
 	"repro/internal/pqueue"
 )
 
@@ -141,12 +142,6 @@ func (g *Group) SearchContext(ctx context.Context, query []string) ([]GroupResul
 	refineStart := time.Now()
 	sc := lead.getScratch()
 	defer lead.scratch.Put(sc) // cache.offsets aliases sc; released on return
-	tuples, cache, streamMem := lead.materializeStream(query, qids, sc, g.LiveTokens, skip)
-	stats.StreamTuples = len(tuples)
-	stats.MemStreamBytes = streamMem
-	if err := ctx.Err(); err != nil {
-		return nil, stats, err
-	}
 
 	// base turns (segment, local set ID) into one dense group-wide ID space
 	// ordered by segment age then local position — insertion order.
@@ -155,31 +150,132 @@ func (g *Group) SearchContext(ctx context.Context, query []string) ([]GroupResul
 		base[i+1] = base[i] + e.repo.Len()
 	}
 
-	// Every partition of every segment refines the same tuple slice in
-	// parallel; the global θlb is shared across all of them (§VI, extended
-	// across segments).
+	// Every partition of every segment refines the same shared tuple arena;
+	// the global θlb is shared across all of them (§VI, extended across
+	// segments). The lazy pipeline (DESIGN.md §10) pumps the stream into the
+	// arena block by block and cuts it once the termination condition holds;
+	// the eager pipeline — searches that disabled the cut-off or the iUB
+	// filter it builds on — materializes everything first.
 	theta := &atomicMax{}
 	type chunk struct {
 		stats Stats
+		r     *partRefiner
 		surv  []survivor
 	}
 	chunks := make([][]chunk, len(g.Engines))
-	var wg sync.WaitGroup
+	refiners := make([][]*partRefiner, len(g.Engines))
 	for si, e := range g.Engines {
 		chunks[si] = make([]chunk, len(e.parts))
+		refiners[si] = make([]*partRefiner, len(e.parts))
 		var dead []uint64
 		if si < len(g.Dead) {
 			dead = g.Dead[si]
 		}
 		for p := range e.parts {
-			wg.Add(1)
-			go func(c *chunk, e *Engine, p int, dead []uint64) {
-				defer wg.Done()
-				c.surv = e.refinePartition(ctx, len(query), tuples, p, theta, &c.stats, dead)
-			}(&chunks[si][p], e, p, dead)
+			c := &chunks[si][p]
+			c.r = e.newPartRefiner(len(query), p, theta, &c.stats, dead)
+			refiners[si][p] = c.r
 		}
 	}
-	wg.Wait()
+
+	var (
+		tuples []streamTuple
+		cache  *edgeCache
+		comp   *edgeCompleter
+		cut    bool
+	)
+	if scorer, lazy := g.lazyEligible(opts); lazy {
+		st := index.NewLazyStream(query, qids, lead.src, opts.Alpha, skip)
+		var cutLevel float64
+		var at cutPoint
+		var ok bool
+		tuples, cut, cutLevel, at, ok = g.pumpLazy(ctx, st, refiners, theta, lead, sc, len(query), opts.K)
+		stats.StreamTuples = len(tuples)
+		stats.StreamCut = cut
+		stats.StreamCutLevel = cutLevel
+		if !ok {
+			return nil, stats, ctx.Err()
+		}
+		thetaCut := theta.Load()
+		if cut && scorer == nil {
+			// Stream-drain edge completion: finish the stream into the
+			// arena for cache building only — the refiners never see the
+			// tail, and it arrives unordered. For the scan-style sources
+			// every remaining neighbor was computed during the probes
+			// anyway, so this costs appends, not similarity evaluations or
+			// sorting.
+			tuples = lead.drainStream(st, tuples, sc, g.LiveTokens)
+		}
+		stats.StreamRetrieved = st.Retrieved()
+		cache = lead.buildEdgeCache(tuples, sc)
+		stats.MemStreamBytes = int64(cap(tuples))*24 + int64(len(cache.arena))*16 +
+			int64(len(sc.offsets))*4 + int64(len(sc.seen))*8
+		if cut && scorer != nil {
+			// Scored edge completion: survivors' edge lists are recomputed
+			// on demand through the pure pair similarity — every evaluation
+			// a cross-query cache hit in this configuration — so the stream
+			// tail is never even retrieved.
+			comp = newEdgeCompleter(lead.repo, query, qids, skip, scorer, opts.Alpha)
+			cache.comp = comp
+		}
+		// Survivors: on a cut, reconstruct the eager outcome — phase one
+		// replays every alive candidate's full-stream bounds and rebuilds
+		// the final global θlb through the per-partition Llb lists; phase
+		// two applies the eager drain filter under that final θlb.
+		// Without a cut the stream was exhausted, so the normal drain IS
+		// the eager path.
+		if cut {
+			var wg sync.WaitGroup
+			for si := range g.Engines {
+				for p := range chunks[si] {
+					c := &chunks[si][p]
+					wg.Add(1)
+					go func(c *chunk) {
+						defer wg.Done()
+						c.surv = c.r.replayPool(cache.edges, qids, len(query), cutLevel, thetaCut, at)
+					}(c)
+				}
+			}
+			wg.Wait()
+			finalTheta := theta.Load()
+			for si := range g.Engines {
+				for p := range chunks[si] {
+					c := &chunks[si][p]
+					c.surv = c.r.filterPool(c.surv, finalTheta)
+				}
+			}
+		} else {
+			for si := range g.Engines {
+				for p := range chunks[si] {
+					c := &chunks[si][p]
+					c.surv = c.r.drain()
+				}
+			}
+		}
+	} else {
+		var streamMem int64
+		var retrieved int
+		tuples, cache, retrieved, streamMem = lead.materializeStream(query, qids, sc, g.LiveTokens, skip)
+		stats.StreamTuples = len(tuples)
+		stats.StreamRetrieved = retrieved
+		stats.MemStreamBytes = streamMem
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		var wg sync.WaitGroup
+		for si := range g.Engines {
+			for p := range chunks[si] {
+				wg.Add(1)
+				go func(c *chunk) {
+					defer wg.Done()
+					if c.r.consume(ctx, tuples, 0) {
+						c.surv = c.r.drain()
+					}
+				}(&chunks[si][p])
+			}
+		}
+		wg.Wait()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}

@@ -427,7 +427,13 @@ func TestInternedEngineMatchesStringOracle(t *testing.T) {
 				queries = queries[:4]
 			}
 			for _, withExact := range []bool{false, true} {
-				opts := Options{K: 10, Alpha: 0.8, ExactScores: withExact}
+				// DisableLazy pins the interned engine to the eager pipeline
+				// the oracle implements: this test compares data
+				// representations (strings vs interned IDs), so both sides
+				// must run the same algorithm tuple for tuple — stats
+				// included. Lazy-vs-eager equivalence has its own suite
+				// (lazy_equiv_test.go).
+				opts := Options{K: 10, Alpha: 0.8, ExactScores: withExact, DisableLazy: true}
 				eng := NewEngine(ds.Repo, src, opts)
 				oracle := newOracleEngine(ds.Repo, src, opts)
 				for qi, q := range queries {
@@ -455,7 +461,7 @@ func TestInternedEngineMatchesOracleRandom(t *testing.T) {
 	for seed := int64(300); seed < 330; seed++ {
 		repo, model, query := randomInstance(seed)
 		src := index.NewFuncIndex(repo.Vocabulary(), model)
-		opts := Options{K: 1 + int(seed%7), Alpha: 0.55 + 0.1*float64(seed%4)}
+		opts := Options{K: 1 + int(seed%7), Alpha: 0.55 + 0.1*float64(seed%4), DisableLazy: true}
 		got, gs := NewEngine(repo, src, opts).Search(query)
 		want, ws := newOracleEngine(repo, src, opts).Search(query)
 		if fmt.Sprint(got) != fmt.Sprint(want) {

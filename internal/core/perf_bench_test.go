@@ -29,7 +29,7 @@ func newPerfFixture(b *testing.B, kind datagen.Kind) *perfFixture {
 	query := dedupStrings(datagen.NewBenchmark(ds, 1).Queries[0].Elements)
 	cached.Prewarm([][]string{query}, eng.Options().Alpha)
 	f := &perfFixture{eng: eng, query: query, qids: ds.Repo.TokenIDs(query)}
-	f.tuples, _, _ = eng.materializeStream(query, f.qids, eng.getScratch(), nil, nil)
+	f.tuples, _, _, _ = eng.materializeStream(query, f.qids, eng.getScratch(), nil, nil)
 	return f
 }
 

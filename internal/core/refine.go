@@ -35,6 +35,13 @@ type candState struct {
 	// mRem is the number of matching slots not yet covered by ubSum terms;
 	// iUB(C) = ubSum + mRem·s.
 	mRem int32
+	// tokRem is the number of the candidate's distinct tokens whose global
+	// first arrival has not streamed yet. It sharpens the candidate's
+	// remaining-gain bound to min(mRem, tokRem)·s — once a candidate's
+	// whole token neighborhood has streamed, its upper bound is already
+	// final regardless of the stream level. Only the lazy cut-off reads it
+	// (the eager filters keep the paper's iUB semantics).
+	tokRem int32
 	// seen marks the state as initialized (the set has appeared in at least
 	// one posting list).
 	seen bool
@@ -49,56 +56,87 @@ type survivor struct {
 	lb, ub float64
 }
 
-// refinePartition runs Algorithm 1 over partition p's CSR inverted index.
-// All partitions consume the same materialized tuple slice and share the
-// global θlb through theta — across segments too, when the engine is one
-// segment of a Group.
-//
-// dead is the segment's optional tombstone bitset, indexed by the engine's
-// repository-local set IDs: a tombstoned set is discarded at first sight,
-// before it is counted as a candidate or contributes any bound. The loop
-// polls ctx every ctxCheckEvery tuples and returns early (with partial,
-// discarded state) once the search is canceled.
-//
-// The per-tuple/per-posting inner loop is free of map lookups and string
-// comparisons: postings are flat int32 arenas, candidate state is a dense
-// slice addressed through localOf, matched query elements are one bit per
-// element in the qBits arena, and matched candidate tokens are one bit per
-// candidate-local element position (carried by the posting entry) in the
-// cBits arena.
-func (e *Engine) refinePartition(ctx context.Context, qN int, tuples []streamTuple, p int, theta *atomicMax, stats *Stats, dead []uint64) []survivor {
-	opts := e.opts
+// partRefiner runs Algorithm 1 over one partition's CSR inverted index,
+// consuming the token stream in one or more consecutive slices of the
+// shared tuple arena. Eager searches feed it the fully materialized stream
+// in a single consume call; the lazy pump feeds it block by block and reads
+// alive between blocks to evaluate the cut-off condition. Everything —
+// candidate creation, bound accumulation, bucket-prune cadence — depends
+// only on the global tuple index, so the two feeding disciplines produce
+// bit-identical state for the same consumed prefix.
+type partRefiner struct {
+	e     *Engine
+	p     int
+	qN    int
+	theta *atomicMax
+	stats *Stats
+	dead  []uint64
+
+	states         []candState
+	bits           []uint64
+	qBits, cBits   []uint64
+	qWords         int
+	buckets        *iubBuckets
+	llb            *pqueue.TopK
+	lastPruneTheta float64
+	// alive is the number of seen, unpruned candidates — the pool size the
+	// lazy cut-off condition watches. Only valid between consume calls (the
+	// pump reads it at block barriers).
+	alive int
+	// cardPtr walks the partition's descending-cardinality order past sets
+	// that have streamed (or are tombstoned), so maxUnseenCard is the
+	// cardinality bound for sets the stream has not touched yet.
+	cardPtr int
+}
+
+// newPartRefiner prepares partition p's refinement state.
+func (e *Engine) newPartRefiner(qN, p int, theta *atomicMax, stats *Stats, dead []uint64) *partRefiner {
 	part := e.parts[p]
-	inv := e.invs[p]
 	cOff := e.cOffs[p]
 	qWords := (qN + 63) / 64
-
-	states := make([]candState, len(part))
+	r := &partRefiner{
+		e: e, p: p, qN: qN, theta: theta, stats: stats, dead: dead,
+		states: make([]candState, len(part)),
+		qWords: qWords,
+	}
 	// One bit arena for both greedy matching masks: candidate L's query mask
 	// occupies words [L·qWords, (L+1)·qWords) of qBits and its token mask
 	// words [cOff[L], cOff[L+1]) of cBits.
-	bits := make([]uint64, len(part)*qWords+int(cOff[len(part)]))
-	qBits := bits[:len(part)*qWords]
-	cBits := bits[len(part)*qWords:]
-
+	r.bits = make([]uint64, len(part)*qWords+int(cOff[len(part)]))
+	r.qBits = r.bits[:len(part)*qWords]
+	r.cBits = r.bits[len(part)*qWords:]
 	maxM := qN
 	if mc := int(e.maxCard[p]); mc < maxM {
 		maxM = mc
 	}
-	buckets := newIUBBuckets(maxM, len(part))
-	llb := pqueue.NewTopK(opts.K)
-	lastPruneTheta := 0.0
+	r.buckets = newIUBBuckets(maxM, len(part))
+	r.llb = pqueue.NewTopK(e.opts.K)
+	return r
+}
+
+// consume processes tuples, whose first element sits at global stream
+// position base. It returns false when ctx was canceled mid-slice (the
+// refiner's state is then partial and must be discarded).
+func (r *partRefiner) consume(ctx context.Context, tuples []streamTuple, base int) bool {
+	e, opts := r.e, r.e.opts
+	inv := e.invs[r.p]
+	cOff := e.cOffs[r.p]
+	states, qBits, cBits, qWords := r.states, r.qBits, r.cBits, r.qWords
+	buckets, llb, theta, stats, dead := r.buckets, r.llb, r.theta, r.stats, r.dead
+	qN := r.qN
 
 	markPruned := func(local int32) {
 		states[local].pruned = true
 		stats.IUBPruned++
+		r.alive--
 	}
 
-	for ti := range tuples {
+	for i := range tuples {
+		ti := base + i
 		if ti&(ctxCheckEvery-1) == ctxCheckEvery-1 && ctx.Err() != nil {
-			return nil
+			return false
 		}
-		tup := &tuples[ti]
+		tup := &tuples[i]
 		s := tup.sim
 		sids, poss := inv.Postings(tup.tokenID)
 		for pi, sid := range sids {
@@ -119,6 +157,7 @@ func (e *Engine) refinePartition(ctx context.Context, qN int, tuples []streamTup
 					slots = c
 				}
 				st.mRem = slots
+				st.tokRem = e.card[sid]
 				// UB-Filter at first sight (Lemma 2): the first tuple for a
 				// set carries its maximum element similarity, so
 				// UB(C) = min(|Q|,|C|)·s.
@@ -130,6 +169,7 @@ func (e *Engine) refinePartition(ctx context.Context, qN int, tuples []streamTup
 					}
 					buckets.insert(local, int(slots), 0)
 				}
+				r.alive++
 			}
 			if st.pruned {
 				continue
@@ -137,11 +177,14 @@ func (e *Engine) refinePartition(ctx context.Context, qN int, tuples []streamTup
 			// Incremental upper bound: count the token's maximum similarity
 			// once, while slots remain (the stream is descending, so the
 			// first min(|Q|,|C|) distinct tokens carry the largest sums).
-			if tup.first && st.mRem > 0 {
-				st.ubSum += s
-				st.mRem--
-				if !opts.DisableIUB {
-					buckets.move(local, int(st.mRem), st.ubSum)
+			if tup.first {
+				st.tokRem--
+				if st.mRem > 0 {
+					st.ubSum += s
+					st.mRem--
+					if !opts.DisableIUB {
+						buckets.move(local, int(st.mRem), st.ubSum)
+					}
 				}
 			}
 			// Incremental greedy lower bound (iLB): take the edge iff both
@@ -166,29 +209,137 @@ func (e *Engine) refinePartition(ctx context.Context, qN int, tuples []streamTup
 			// (pruning is an optimization — correctness never depends on
 			// when it runs, and the final drain re-checks every survivor).
 			t := theta.Load()
-			if t > lastPruneTheta || ti%opts.PruneEvery == opts.PruneEvery-1 {
-				lastPruneTheta = t
+			if t > r.lastPruneTheta || ti%opts.PruneEvery == opts.PruneEvery-1 {
+				r.lastPruneTheta = t
 				buckets.prune(s, t-pruneEps, markPruned)
 			}
 		}
 	}
+	return true
+}
 
-	// Drain: once the stream is exhausted every unseen element contributes
-	// nothing (its similarities are all below α), so the final upper bound
-	// tightens to ubSum.
-	finalTheta := theta.Load()
+// drain emits the survivors after the stream is exhausted: every unseen
+// element contributes nothing (its similarities are all below α), so the
+// final upper bound tightens to ubSum and is re-checked against the final
+// θlb.
+func (r *partRefiner) drain() []survivor {
+	finalTheta := r.theta.Load()
+	part := r.e.parts[r.p]
 	var out []survivor
-	for local := range states {
-		st := &states[local]
+	for local := range r.states {
+		st := &r.states[local]
 		if !st.seen || st.pruned {
 			continue
 		}
-		if !opts.DisableIUB && finalTheta > 0 && st.ubSum < finalTheta-pruneEps {
-			stats.IUBPruned++
+		if !r.e.opts.DisableIUB && finalTheta > 0 && st.ubSum < finalTheta-pruneEps {
+			r.stats.IUBPruned++
 			continue
 		}
 		out = append(out, survivor{setID: part[local], lb: st.lbScore, ub: st.ubSum})
 	}
-	stats.MemCandBytes += int64(len(states))*24 + int64(len(bits))*8
+	r.accountMem()
 	return out
+}
+
+// replayPool is phase one of a cut-off search's survivor reconstruction:
+// every alive candidate's refinement bounds are replayed to their
+// full-stream values (replayBounds) and the full lower bounds are offered
+// to the partition's Llb exactly as the eager tail would have — after every
+// partition has done this, the global θlb holds its eager final value
+// (DESIGN.md §10 spells out why frozen and tail candidates cannot move it).
+// filterPool then applies the eager drain check under that final θlb.
+//
+// Candidates whose sharpened remaining-gain bound ubSum+min(mRem,tokRem)·level
+// already falls below the cut-time θlb are certified eager-pruned without a
+// replay: their full upper bound cannot reach the final θlb either, and
+// their full lower bound sits below it, so skipping their Llb offer cannot
+// move the reconstructed θlb (same frozen-offer argument).
+func (r *partRefiner) replayPool(edgesOf func(int32) []qEdge, qids []int32, qN int, level, thetaCut float64, at cutPoint) []survivor {
+	part := r.e.parts[r.p]
+	var out []survivor
+	var rs replayScratch
+	for local := range r.states {
+		st := &r.states[local]
+		if !st.seen || st.pruned {
+			continue
+		}
+		if rem := min(st.mRem, st.tokRem); thetaCut > 0 && st.ubSum+float64(rem)*level < thetaCut-pruneEps {
+			r.stats.IUBPruned++
+			continue
+		}
+		sid := part[local]
+		lb, ub := r.tailBounds(int32(local), qN, edgesOf, qids, at, &rs)
+		out = append(out, survivor{setID: sid, lb: lb, ub: ub})
+		if r.llb.Update(sid, lb) {
+			r.theta.Update(r.llb.Bottom())
+		}
+	}
+	r.accountMem()
+	return out
+}
+
+// filterPool applies the eager drain's final upper-bound check to the
+// replayed pool: candidates whose full-stream ubSum falls below the final
+// θlb are exactly the ones the eager tail would have pruned (mid-stream or
+// at drain — the timing cannot matter, only the final values do).
+func (r *partRefiner) filterPool(pool []survivor, finalTheta float64) []survivor {
+	out := pool[:0]
+	for _, sv := range pool {
+		if finalTheta > 0 && sv.ub < finalTheta-pruneEps {
+			r.stats.IUBPruned++
+			continue
+		}
+		out = append(out, sv)
+	}
+	return out
+}
+
+// maxUnseenCard returns the largest cardinality among the partition's sets
+// the stream has not yet touched — the sharp version of the Lemma 2 bound
+// the cut-off condition uses: a set already seen is either a pool member or
+// pruned, so only unseen cardinalities can still spawn candidates. The
+// pointer only advances (seen is permanent), costing amortized O(|part|)
+// per query. Tombstoned sets are skipped: they can never become candidates.
+func (r *partRefiner) maxUnseenCard() int32 {
+	e, part, order := r.e, r.e.parts[r.p], r.e.cardOrder[r.p]
+	for r.cardPtr < len(order) {
+		local := order[r.cardPtr]
+		if !r.states[local].seen {
+			sid := part[local]
+			if r.dead == nil || r.dead[sid>>6]&(1<<(uint(sid)&63)) == 0 {
+				return e.card[sid]
+			}
+		}
+		r.cardPtr++
+	}
+	return 0
+}
+
+func (r *partRefiner) accountMem() {
+	r.stats.MemCandBytes += int64(len(r.states))*24 + int64(len(r.bits))*8
+}
+
+// refinePartition runs Algorithm 1 over partition p's CSR inverted index
+// against a fully materialized tuple slice — the eager path. All partitions
+// consume the same tuples and share the global θlb through theta — across
+// segments too, when the engine is one segment of a Group.
+//
+// dead is the segment's optional tombstone bitset, indexed by the engine's
+// repository-local set IDs: a tombstoned set is discarded at first sight,
+// before it is counted as a candidate or contributes any bound. The loop
+// polls ctx every ctxCheckEvery tuples and returns early (with partial,
+// discarded state) once the search is canceled.
+//
+// The per-tuple/per-posting inner loop is free of map lookups and string
+// comparisons: postings are flat int32 arenas, candidate state is a dense
+// slice addressed through localOf, matched query elements are one bit per
+// element in the qBits arena, and matched candidate tokens are one bit per
+// candidate-local element position (carried by the posting entry) in the
+// cBits arena.
+func (e *Engine) refinePartition(ctx context.Context, qN int, tuples []streamTuple, p int, theta *atomicMax, stats *Stats, dead []uint64) []survivor {
+	r := e.newPartRefiner(qN, p, theta, stats, dead)
+	if !r.consume(ctx, tuples, 0) {
+		return nil
+	}
+	return r.drain()
 }

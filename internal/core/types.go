@@ -50,6 +50,20 @@ type Options struct {
 	PruneEvery int
 	// Verifier selects the exact-matching algorithm for post-processing.
 	Verifier Verifier
+	// DisableLazy turns off the lazy token-stream cut-off (DESIGN.md §10)
+	// and restores the eager materialize-everything pipeline. The cut-off
+	// needs the first-sight UB filter, so DisableIUB implies it. Results
+	// are byte-identical either way, for exact and approximate sources
+	// alike: stream-drain edge completion re-emits the source's own
+	// retrieval, and the scored alternative is only selected for sources
+	// that retrieve exhaustively (index.ScoredCompletion).
+	DisableLazy bool
+	// LazyBlock is the lazy pump's block size in stream tuples — the
+	// granularity at which the cut-off condition is evaluated. Smaller
+	// blocks cut earlier but synchronize the partition refiners more often.
+	// Default 256. Tests randomize it to force cuts at arbitrary stream
+	// prefixes.
+	LazyBlock int
 }
 
 // Verifier names an exact maximum-matching algorithm.
@@ -95,6 +109,9 @@ func (o Options) withDefaults() Options {
 	if o.PruneEvery <= 0 {
 		o.PruneEvery = 32
 	}
+	if o.LazyBlock <= 0 {
+		o.LazyBlock = 256
+	}
 	return o
 }
 
@@ -132,8 +149,21 @@ type Stats struct {
 	// result scores exact (ExactScores or the multi-partition merge); they
 	// are bookkeeping, not part of the paper's filter accounting.
 	FinalizeEM int
-	// StreamTuples is the number of token-stream tuples consumed.
+	// StreamTuples is the number of token-stream tuples consumed by
+	// refinement. Under the lazy pipeline this stops at the cut-off; the
+	// eager pipeline consumes the whole stream.
 	StreamTuples int
+	// StreamRetrieved is the number of α-neighbors the similarity index
+	// actually materialized for the query — the retrieval-side cost. The
+	// cut-off's savings per query are StreamRetrieved vs. the full
+	// α-neighbor count (what an eager search reports here) and
+	// StreamTuples vs. StreamRetrieved on the consumption side.
+	StreamRetrieved int
+	// StreamCut reports that the lazy pipeline stopped the token stream
+	// before exhaustion; StreamCutLevel is the similarity level s at the
+	// cut (every unseen tuple had sim ≤ s).
+	StreamCut      bool
+	StreamCutLevel float64
 	// HungarianIterations sums augmentation phases across all matchings.
 	HungarianIterations int
 	// Segments is the number of repository segments the search snapshot
@@ -169,6 +199,7 @@ func (s *Stats) add(o *Stats) {
 	s.EMFull += o.EMFull
 	s.FinalizeEM += o.FinalizeEM
 	s.StreamTuples += o.StreamTuples
+	s.StreamRetrieved += o.StreamRetrieved
 	s.HungarianIterations += o.HungarianIterations
 	s.MemStreamBytes += o.MemStreamBytes
 	s.MemCandBytes += o.MemCandBytes

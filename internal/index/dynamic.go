@@ -56,14 +56,14 @@ func NewDynamicFunc(dict *sets.Dictionary, fn sim.Func) *DynamicFunc {
 // shared pair cache instead of re-evaluating the similarity function.
 func (f *DynamicFunc) SetSimCache(c *sim.PairCache) { f.cache = c }
 
-// Neighbors implements NeighborSource over the dictionary's current
-// snapshot. With a pair cache attached, each (query token, vocabulary
-// token) evaluation is memoized by ID pair — sound because dictionary IDs
-// are append-only and fn is pure, so a hit replays the exact value fn
-// would return. A query element outside the dictionary has no ID to key
-// on and is always computed directly.
-func (f *DynamicFunc) Neighbors(q string, alpha float64) []Neighbor {
-	var out []Neighbor
+// SimCacheAttached reports whether a shared pair cache is wired in —
+// scored edge completion (DESIGN.md §10) is only worthwhile when it is.
+func (f *DynamicFunc) SimCacheAttached() bool { return f.cache != nil }
+
+// scan appends every dictionary token (except the query itself) with
+// similarity ≥ alpha to buf, unsorted, memoizing through the pair cache
+// when one is attached.
+func (f *DynamicFunc) scan(q string, alpha float64, buf []Neighbor) []Neighbor {
 	cache := f.cache
 	qid := int32(-1)
 	if cache != nil {
@@ -88,14 +88,50 @@ func (f *DynamicFunc) Neighbors(q string, alpha float64) []Neighbor {
 			s = f.fn.Sim(q, tok)
 		}
 		if s >= alpha {
-			out = append(out, Neighbor{Token: tok, Sim: s, ID: int32(vi)})
+			buf = append(buf, Neighbor{Token: tok, Sim: s, ID: int32(vi)})
 		}
 	}
 	if cache != nil && qid >= 0 {
 		cache.AddLookups(hits, misses)
 	}
-	sortNeighbors(out)
-	return out
+	return buf
+}
+
+// Neighbors implements NeighborSource over the dictionary's current
+// snapshot. With a pair cache attached, each (query token, vocabulary
+// token) evaluation is memoized by ID pair — sound because dictionary IDs
+// are append-only and fn is pure, so a hit replays the exact value fn
+// would return. A query element outside the dictionary has no ID to key
+// on and is always computed directly.
+func (f *DynamicFunc) Neighbors(q string, alpha float64) []Neighbor {
+	return sortedScan(func(buf []Neighbor) []Neighbor { return f.scan(q, alpha, buf) })
+}
+
+// NeighborCursor implements LazySource: same exhaustive scan, neighbors
+// ordered only as they are consumed.
+func (f *DynamicFunc) NeighborCursor(q string, alpha float64) NeighborCursor {
+	return newLazyScan(f.scan(q, alpha, nil))
+}
+
+// PairSim implements CompleteScorer: the similarity function itself,
+// memoized by dictionary-ID pair when both tokens are interned and a cache
+// is attached — bit-identical to the value retrieval would carry. PairSim
+// probes bypass the cache's hit/miss telemetry: they arrive one pair at a
+// time from concurrent edge completions, and a per-pair counter RMW is
+// exactly the contention the scan paths batch away (see AddLookups).
+func (f *DynamicFunc) PairSim(a, b string) float64 {
+	if cache := f.cache; cache != nil {
+		aid, bid := f.dict.Lookup(a), f.dict.Lookup(b)
+		if aid >= 0 && bid >= 0 {
+			if s, ok := cache.Lookup(aid, bid); ok {
+				return s
+			}
+			s := f.fn.Sim(a, b)
+			cache.Put(aid, bid, s)
+			return s
+		}
+	}
+	return f.fn.Sim(a, b)
 }
 
 // Sync implements Syncer; scanning the live dictionary needs no
@@ -111,7 +147,6 @@ func (f *DynamicFunc) Sync() {}
 type DynamicExact struct {
 	dict  *sets.Dictionary
 	vec   func(string) ([]float32, bool)
-	batch int
 	cache *sim.PairCache
 
 	mu      sync.RWMutex
@@ -125,7 +160,7 @@ type DynamicExact struct {
 // NewDynamicExact builds a dynamic exact vector source over dict, covering
 // every current and future dictionary token for which vec returns a vector.
 func NewDynamicExact(dict *sets.Dictionary, vec func(string) ([]float32, bool)) *DynamicExact {
-	e := &DynamicExact{dict: dict, vec: vec, batch: 100, byToken: make(map[string]int)}
+	e := &DynamicExact{dict: dict, vec: vec, byToken: make(map[string]int)}
 	e.Sync()
 	return e
 }
@@ -138,6 +173,10 @@ func (e *DynamicExact) QueryVocabBound() {}
 // dictionary-ID pair. Wire the cache before serving searches (the field is
 // read without synchronization on the scan path).
 func (e *DynamicExact) SetSimCache(c *sim.PairCache) { e.cache = c }
+
+// SimCacheAttached reports whether a shared pair cache is wired in —
+// scored edge completion (DESIGN.md §10) is only worthwhile when it is.
+func (e *DynamicExact) SimCacheAttached() bool { return e.cache != nil }
 
 // Sync implements Syncer: it indexes dictionary tokens interned since the
 // last call. Cheap when already current (one read-locked length check).
@@ -176,53 +215,90 @@ func (e *DynamicExact) Len() int {
 	return len(e.tokens)
 }
 
-// Neighbors implements NeighborSource. Like Exact it scans in batches (the
-// paper queries Faiss in batches of 100); the scan runs on an immutable
-// prefix view captured under the read lock, never blocking writers.
-func (e *DynamicExact) Neighbors(q string, alpha float64) []Neighbor {
+// scan appends every indexed token (except the query itself) with
+// similarity ≥ alpha to buf, unsorted. The scan runs on an immutable prefix
+// view captured under the read lock, never blocking writers.
+func (e *DynamicExact) scan(q string, alpha float64, buf []Neighbor) ([]Neighbor, bool) {
 	e.Sync()
 	e.mu.RLock()
 	qi, ok := e.byToken[q]
 	tokens, ids, vecs := e.tokens, e.ids, e.vecs
 	e.mu.RUnlock()
 	if !ok {
-		return nil // out-of-vocabulary query element: no semantic neighbors
+		return buf, false // out-of-vocabulary query element: no semantic neighbors
 	}
 	qv := vecs[qi]
 	qid := ids[qi]
 	cache := e.cache
-	var out []Neighbor
 	var hits, misses int64
-	for start := 0; start < len(tokens); start += e.batch {
-		end := start + e.batch
-		if end > len(tokens) {
-			end = len(tokens)
+	for i := range vecs {
+		if i == qi {
+			continue
 		}
-		for i := start; i < end; i++ {
-			if i == qi {
-				continue
-			}
-			var s float64
-			if cache != nil {
-				var ok bool
-				if s, ok = cache.Lookup(qid, ids[i]); ok {
-					hits++
-				} else {
-					misses++
-					s = sim.Dot(qv, vecs[i])
-					cache.Put(qid, ids[i], s)
-				}
+		var s float64
+		if cache != nil {
+			var ok bool
+			if s, ok = cache.Lookup(qid, ids[i]); ok {
+				hits++
 			} else {
+				misses++
 				s = sim.Dot(qv, vecs[i])
+				cache.Put(qid, ids[i], s)
 			}
-			if s >= alpha {
-				out = append(out, Neighbor{Token: tokens[i], Sim: s, ID: ids[i]})
-			}
+		} else {
+			s = sim.Dot(qv, vecs[i])
+		}
+		if s >= alpha {
+			buf = append(buf, Neighbor{Token: tokens[i], Sim: s, ID: ids[i]})
 		}
 	}
 	if cache != nil {
 		cache.AddLookups(hits, misses)
 	}
-	sortNeighbors(out)
-	return out
+	return buf, true
+}
+
+// Neighbors implements NeighborSource: one exhaustive linear scan (the
+// former fixed-size batching loop was a no-op wrapper around the same
+// scan), sorted descending.
+func (e *DynamicExact) Neighbors(q string, alpha float64) []Neighbor {
+	return sortedScan(func(buf []Neighbor) []Neighbor {
+		buf, _ = e.scan(q, alpha, buf)
+		return buf
+	})
+}
+
+// NeighborCursor implements LazySource.
+func (e *DynamicExact) NeighborCursor(q string, alpha float64) NeighborCursor {
+	cands, ok := e.scan(q, alpha, nil)
+	if !ok {
+		return &eagerCursor{}
+	}
+	return newLazyScan(cands)
+}
+
+// PairSim implements CompleteScorer: the exact dot product retrieval uses
+// (memoized by dictionary-ID pair when a cache is attached), 0 when either
+// token has no vector. Like DynamicFunc.PairSim it bypasses the cache's
+// hit/miss telemetry — per-pair counter RMWs from concurrent edge
+// completions are the contention the scan paths batch away.
+func (e *DynamicExact) PairSim(a, b string) float64 {
+	e.Sync()
+	e.mu.RLock()
+	ai, aok := e.byToken[a]
+	bi, bok := e.byToken[b]
+	ids, vecs := e.ids, e.vecs
+	e.mu.RUnlock()
+	if !aok || !bok {
+		return 0
+	}
+	if cache := e.cache; cache != nil {
+		if s, ok := cache.Lookup(ids[ai], ids[bi]); ok {
+			return s
+		}
+		s := sim.Dot(vecs[ai], vecs[bi])
+		cache.Put(ids[ai], ids[bi], s)
+		return s
+	}
+	return sim.Dot(vecs[ai], vecs[bi])
 }

@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -33,21 +34,21 @@ type NeighborSource interface {
 
 // Exact is a brute-force NeighborSource over normalized embedding vectors.
 // It plays the role of the paper's Faiss index but returns exact results, so
-// the overall search stays exact. Retrieval scans the vocabulary in batches
-// (the paper queries Faiss in batches of 100) — functionally a full scan,
-// structured the same way.
+// the overall search stays exact. Retrieval is one linear scan (the former
+// fixed-size batching loop was a no-op wrapper around the same scan);
+// α-matches are collected into a pooled scratch buffer so a probe allocates
+// only its exact-size result.
 type Exact struct {
 	tokens  []string
 	ids     []int32 // vocab position of each indexed token
 	vecs    [][]float32
 	byToken map[string]int
-	batch   int
 }
 
 // NewExact indexes the vocabulary tokens that vec covers. Vectors are
 // copied and L2-normalized so retrieval can use the dot product.
 func NewExact(vocab []string, vec func(string) ([]float32, bool)) *Exact {
-	e := &Exact{byToken: make(map[string]int, len(vocab)), batch: 100}
+	e := &Exact{byToken: make(map[string]int, len(vocab))}
 	for vi, tok := range vocab {
 		v, ok := vec(tok)
 		if !ok {
@@ -64,30 +65,53 @@ func NewExact(vocab []string, vec func(string) ([]float32, bool)) *Exact {
 // Len returns the number of indexed (covered) tokens.
 func (e *Exact) Len() int { return len(e.tokens) }
 
+// scan appends every indexed token (except the query itself) with
+// similarity ≥ alpha to buf, unsorted.
+func (e *Exact) scan(qi int, alpha float64, buf []Neighbor) []Neighbor {
+	qv := e.vecs[qi]
+	for i := range e.vecs {
+		if i == qi {
+			continue
+		}
+		if s := sim.Dot(qv, e.vecs[i]); s >= alpha {
+			buf = append(buf, Neighbor{Token: e.tokens[i], Sim: s, ID: e.ids[i]})
+		}
+	}
+	return buf
+}
+
 // Neighbors implements NeighborSource.
 func (e *Exact) Neighbors(q string, alpha float64) []Neighbor {
 	qi, ok := e.byToken[q]
 	if !ok {
 		return nil // out-of-vocabulary query element: no semantic neighbors
 	}
-	qv := e.vecs[qi]
-	var out []Neighbor
-	for start := 0; start < len(e.tokens); start += e.batch {
-		end := start + e.batch
-		if end > len(e.tokens) {
-			end = len(e.tokens)
-		}
-		for i := start; i < end; i++ {
-			if i == qi {
-				continue
-			}
-			if s := sim.Dot(qv, e.vecs[i]); s >= alpha {
-				out = append(out, Neighbor{Token: e.tokens[i], Sim: s, ID: e.ids[i]})
-			}
-		}
+	return sortedScan(func(buf []Neighbor) []Neighbor { return e.scan(qi, alpha, buf) })
+}
+
+// NeighborCursor implements LazySource: the scan still computes every
+// similarity (that is what keeps Exact exact) but neighbors are only
+// ordered as they are consumed.
+func (e *Exact) NeighborCursor(q string, alpha float64) NeighborCursor {
+	qi, ok := e.byToken[q]
+	if !ok {
+		return &eagerCursor{}
 	}
-	sortNeighbors(out)
-	return out
+	return newLazyScan(e.scan(qi, alpha, nil))
+}
+
+// PairSim implements CompleteScorer: the exact dot product retrieval uses,
+// 0 when either token has no vector.
+func (e *Exact) PairSim(a, b string) float64 {
+	ai, ok := e.byToken[a]
+	if !ok {
+		return 0
+	}
+	bi, ok := e.byToken[b]
+	if !ok {
+		return 0
+	}
+	return sim.Dot(e.vecs[ai], e.vecs[bi])
 }
 
 // FootprintBytes estimates the index's in-memory size.
@@ -250,18 +274,52 @@ func NewFuncIndex(vocab []string, fn sim.Func) *FuncIndex {
 	return &FuncIndex{vocab: vocab, fn: fn}
 }
 
-// Neighbors implements NeighborSource.
-func (f *FuncIndex) Neighbors(q string, alpha float64) []Neighbor {
-	var out []Neighbor
+// scan appends every vocabulary token (except the query itself) with
+// similarity ≥ alpha to buf, unsorted.
+func (f *FuncIndex) scan(q string, alpha float64, buf []Neighbor) []Neighbor {
 	for vi, tok := range f.vocab {
 		if tok == q {
 			continue
 		}
 		if s := f.fn.Sim(q, tok); s >= alpha {
-			out = append(out, Neighbor{Token: tok, Sim: s, ID: int32(vi)})
+			buf = append(buf, Neighbor{Token: tok, Sim: s, ID: int32(vi)})
 		}
 	}
-	sortNeighbors(out)
+	return buf
+}
+
+// Neighbors implements NeighborSource.
+func (f *FuncIndex) Neighbors(q string, alpha float64) []Neighbor {
+	return sortedScan(func(buf []Neighbor) []Neighbor { return f.scan(q, alpha, buf) })
+}
+
+// NeighborCursor implements LazySource.
+func (f *FuncIndex) NeighborCursor(q string, alpha float64) NeighborCursor {
+	return newLazyScan(f.scan(q, alpha, nil))
+}
+
+// PairSim implements CompleteScorer: the similarity function itself.
+func (f *FuncIndex) PairSim(a, b string) float64 { return f.fn.Sim(a, b) }
+
+// scanScratch pools the unsorted match buffers of the brute-force scans so
+// an eager probe performs one exact-size result allocation instead of
+// growing a fresh slice append by append.
+var scanScratch = sync.Pool{
+	New: func() any { b := make([]Neighbor, 0, 256); return &b },
+}
+
+// sortedScan runs scan into a pooled scratch buffer, sorts the matches, and
+// returns them as an exact-size copy (nil when there are none).
+func sortedScan(scan func(buf []Neighbor) []Neighbor) []Neighbor {
+	bp := scanScratch.Get().(*[]Neighbor)
+	buf := scan((*bp)[:0])
+	var out []Neighbor
+	if len(buf) > 0 {
+		sortNeighbors(buf)
+		out = slices.Clone(buf)
+	}
+	*bp = buf[:0]
+	scanScratch.Put(bp)
 	return out
 }
 

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -94,6 +95,23 @@ type Server struct {
 	mux   *http.ServeMux
 	pool  *workerPool
 	start time.Time
+	// Lazy-stream aggregates across all served queries (DESIGN.md §10):
+	// how many queries cut the token stream early, and the cumulative
+	// tuples consumed vs. α-neighbors retrieved — the serving-level view of
+	// the cut-off's savings, surfaced in /v1/info.
+	lazyCuts        atomic.Int64
+	streamTuples    atomic.Int64
+	streamRetrieved atomic.Int64
+}
+
+// recordStreamStats folds one query's stream counters into the /v1/info
+// aggregates.
+func (s *Server) recordStreamStats(stats *core.Stats) {
+	if stats.StreamCut {
+		s.lazyCuts.Add(1)
+	}
+	s.streamTuples.Add(int64(stats.StreamTuples))
+	s.streamRetrieved.Add(int64(stats.StreamRetrieved))
 }
 
 // New builds a server around a segment manager (see NewManager in the
@@ -154,16 +172,23 @@ type SearchResponse struct {
 
 // SearchStats is the wire form of the engine statistics.
 type SearchStats struct {
-	Candidates   int   `json:"candidates"`
-	IUBPruned    int   `json:"iub_pruned"`
-	NoEM         int   `json:"no_em"`
-	EMEarly      int   `json:"em_early"`
-	EMFull       int   `json:"em_full"`
-	StreamTuples int   `json:"stream_tuples"`
-	Segments     int   `json:"segments"`
-	RefineUS     int64 `json:"refine_us"`
-	PostprocUS   int64 `json:"postproc_us"`
-	MemoryBytes  int64 `json:"memory_bytes"`
+	Candidates   int `json:"candidates"`
+	IUBPruned    int `json:"iub_pruned"`
+	NoEM         int `json:"no_em"`
+	EMEarly      int `json:"em_early"`
+	EMFull       int `json:"em_full"`
+	StreamTuples int `json:"stream_tuples"`
+	// StreamRetrieved is the α-neighbor count the similarity index
+	// actually materialized; StreamCut/StreamCutLevel report whether (and
+	// at what similarity level) the lazy pipeline stopped the token stream
+	// early — the per-query observability of DESIGN.md §10.
+	StreamRetrieved int     `json:"stream_retrieved"`
+	StreamCut       bool    `json:"stream_cut"`
+	StreamCutLevel  float64 `json:"stream_cut_level,omitempty"`
+	Segments        int     `json:"segments"`
+	RefineUS        int64   `json:"refine_us"`
+	PostprocUS      int64   `json:"postproc_us"`
+	MemoryBytes     int64   `json:"memory_bytes"`
 }
 
 // validateK resolves the request's k against the server default and cap,
@@ -222,16 +247,19 @@ func buildSearchResponse(results []segment.Result, stats *core.Stats) SearchResp
 	resp := SearchResponse{
 		Results: make([]SearchResult, len(results)),
 		Stats: SearchStats{
-			Candidates:   stats.Candidates,
-			IUBPruned:    stats.IUBPruned,
-			NoEM:         stats.NoEM,
-			EMEarly:      stats.EMEarly,
-			EMFull:       stats.EMFull,
-			StreamTuples: stats.StreamTuples,
-			Segments:     stats.Segments,
-			RefineUS:     stats.RefineTime.Microseconds(),
-			PostprocUS:   stats.PostprocTime.Microseconds(),
-			MemoryBytes:  stats.TotalBytes(),
+			Candidates:      stats.Candidates,
+			IUBPruned:       stats.IUBPruned,
+			NoEM:            stats.NoEM,
+			EMEarly:         stats.EMEarly,
+			EMFull:          stats.EMFull,
+			StreamTuples:    stats.StreamTuples,
+			StreamRetrieved: stats.StreamRetrieved,
+			StreamCut:       stats.StreamCut,
+			StreamCutLevel:  stats.StreamCutLevel,
+			Segments:        stats.Segments,
+			RefineUS:        stats.RefineTime.Microseconds(),
+			PostprocUS:      stats.PostprocTime.Microseconds(),
+			MemoryBytes:     stats.TotalBytes(),
 		},
 	}
 	for i, res := range results {
@@ -274,6 +302,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.searchFailed(w, err)
 		return
 	}
+	s.recordStreamStats(&stats)
 	writeJSON(w, http.StatusOK, buildSearchResponse(results, &stats))
 }
 
@@ -351,6 +380,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			s.pool.release(time.Since(start))
 			switch {
 			case err == nil:
+				s.recordStreamStats(&stats)
 				resps[i] = BatchSearchEntry{SearchResponse: buildSearchResponse(results, &stats)}
 			case errors.Is(err, context.DeadlineExceeded):
 				s.pool.timeouts.Add(1)
@@ -538,6 +568,21 @@ type InfoResponse struct {
 	// SimCache reports the cross-query similarity cache (all zeros when
 	// the cache is disabled).
 	SimCache SimCacheInfo `json:"sim_cache"`
+	// LazyStream aggregates the lazy token stream's cut-off savings across
+	// all served queries (DESIGN.md §10).
+	LazyStream LazyStreamInfo `json:"lazy_stream"`
+}
+
+// LazyStreamInfo is the lazy-stream section of /v1/info: how many queries
+// cut the token stream before exhaustion and the cumulative consumption
+// vs. retrieval tuple counts. CutRate is CutQueries over the pool's total
+// query count; TuplesTotal < RetrievedTotal means the cut-off is saving
+// consumption work.
+type LazyStreamInfo struct {
+	CutQueries     int64   `json:"cut_queries"`
+	CutRate        float64 `json:"cut_rate"`
+	TuplesTotal    int64   `json:"stream_tuples_total"`
+	RetrievedTotal int64   `json:"stream_retrieved_total"`
 }
 
 // ThroughputInfo is the worker-pool section of /v1/info.
@@ -587,8 +632,21 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			LatencyP95US:   p95.Microseconds(),
 			LatencyP99US:   p99.Microseconds(),
 		},
-		SimCache: SimCacheInfo{CacheStats: cs, HitRate: cs.HitRate()},
+		SimCache:   SimCacheInfo{CacheStats: cs, HitRate: cs.HitRate()},
+		LazyStream: s.lazyStreamInfo(),
 	})
+}
+
+func (s *Server) lazyStreamInfo() LazyStreamInfo {
+	info := LazyStreamInfo{
+		CutQueries:     s.lazyCuts.Load(),
+		TuplesTotal:    s.streamTuples.Load(),
+		RetrievedTotal: s.streamRetrieved.Load(),
+	}
+	if q := s.pool.queries.Load(); q > 0 {
+		info.CutRate = float64(info.CutQueries) / float64(q)
+	}
+	return info
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

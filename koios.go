@@ -68,6 +68,14 @@ type Config struct {
 	DisableIUB       bool
 	DisableNoEM      bool
 	DisableEarlyTerm bool
+	// DisableLazy switches the lazy token stream off: the search retrieves,
+	// sorts, and consumes every α-neighbor instead of cutting the stream
+	// once the top-k is decided (DESIGN.md §10). Results are byte-identical
+	// either way — for any index, the approximate NewWithSource ones
+	// included (a cut search completes truncated edge lists from the
+	// source's own retrieval, so it reproduces exactly what that source's
+	// eager pipeline would return). The flag exists for ablation studies.
+	DisableLazy bool
 	// SealThreshold is the number of inserted sets buffered in the mutable
 	// memtable before it seals into an immutable segment (default 256);
 	// MaxSegments bounds how many sealed segments accumulate before
@@ -102,6 +110,7 @@ func (c Config) coreOptions() core.Options {
 		DisableIUB:       c.DisableIUB,
 		DisableNoEM:      c.DisableNoEM,
 		DisableEarlyTerm: c.DisableEarlyTerm,
+		DisableLazy:      c.DisableLazy,
 	}
 }
 
