@@ -40,6 +40,8 @@ func main() {
 		workers   = flag.Int("workers", 4, "verification workers per partition")
 		queries   = flag.Int("queries", 0, "override queries per benchmark interval (0 = dataset default)")
 		timeout   = flag.Duration("timeout", 120*time.Second, "per-query baseline timeout")
+		chaosIt   = flag.Int("chaos-iters", 100, "randomized injections for -exp chaos")
+		chaosSeed = flag.Int64("chaos-seed", 1, "reproducibility seed for -exp chaos")
 	)
 	flag.Parse()
 
@@ -75,6 +77,8 @@ func main() {
 		Workers:            *workers,
 		QueriesPerInterval: *queries,
 		Timeout:            *timeout,
+		ChaosIters:         *chaosIt,
+		ChaosSeed:          *chaosSeed,
 	}, os.Stdout)
 
 	if *perfJSON != "" || *perfBase != "" {

@@ -1,19 +1,28 @@
-// Command koios-search runs a single top-k semantic overlap query against a
-// synthesized dataset and prints the result with filter statistics.
+// Command koios-search runs a single top-k semantic overlap query and
+// prints the result with filter statistics — either locally against a
+// synthesized dataset, or remotely against a running koios-server.
 //
 // Usage:
 //
 //	koios-search -dataset opendata -scale 0.1 -query 3 -k 5
 //	koios-search -dataset twitter -tokens "word1,word2,word3"
+//	koios-search -server http://localhost:7411 -tokens "word1,word2"
+//
+// Remote queries go through the resilient client: transient failures
+// (connection errors, 429 load shedding, 5xx) retry with backoff inside
+// the -timeout budget, honoring the server's Retry-After.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	koios "repro"
+	"repro/internal/server"
 )
 
 func main() {
@@ -26,8 +35,18 @@ func main() {
 		alpha   = flag.Float64("alpha", 0.8, "element similarity threshold")
 		parts   = flag.Int("partitions", 4, "repository partitions")
 		workers = flag.Int("workers", 4, "verification workers per partition")
+		remote  = flag.String("server", "", "query a running koios-server at this base URL (e.g. http://localhost:7411) instead of building a local engine")
+		timeout = flag.Duration("timeout", 30*time.Second, "overall remote query budget, retries included (with -server)")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		if err := searchRemote(*remote, *tokens, *k, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ds, err := koios.GenerateDataset(*dataset, *scale)
 	if err != nil {
@@ -71,4 +90,33 @@ func main() {
 		float64(stats.MemStreamBytes)/1048576,
 		float64(stats.MemCandBytes)/1048576,
 		float64(stats.MemPostprocBytes)/1048576)
+}
+
+// searchRemote runs one query against a koios-server through the resilient
+// client, the whole exchange (retries included) bounded by timeout.
+func searchRemote(base, tokens string, k int, timeout time.Duration) error {
+	var query []string
+	for _, t := range strings.Split(tokens, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			query = append(query, t)
+		}
+	}
+	if len(query) == 0 {
+		return fmt.Errorf("koios-search: -server mode needs -tokens (the benchmark dataset lives in the server)")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := server.NewClient(base, nil)
+	resp, err := c.SearchContext(ctx, query, k)
+	if err != nil {
+		return fmt.Errorf("koios-search: %w", err)
+	}
+	fmt.Printf("top-%d results from %s:\n", k, base)
+	for rank, r := range resp.Results {
+		fmt.Printf("  #%-3d %-18s score=%-8.2f verified=%v\n", rank+1, r.SetName, r.Score, r.Verified)
+	}
+	st := resp.Stats
+	fmt.Printf("\nfilters: candidates=%d iUB-pruned=%d no-EM=%d EM-early=%d EM=%d  (stream tuples: %d, segments: %d)\n",
+		st.Candidates, st.IUBPruned, st.NoEM, st.EMEarly, st.EMFull, st.StreamTuples, st.Segments)
+	return nil
 }

@@ -44,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -76,9 +77,25 @@ func main() {
 		simCache = flag.Int("sim-cache", 0, "cross-query similarity cache entries (0 = default ~1M, negative = disabled)")
 		seal     = flag.Int("seal", 256, "memtable sets buffered before sealing a segment")
 		maxSegs  = flag.Int("max-segments", 4, "sealed segments tolerated before compaction")
+		maxQueue = flag.Int("max-queue", 0, "worker-pool queue depth beyond which searches are shed with 429 (0 = 8 × search workers)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
+
+	// Boot protocol (DESIGN.md §11): bind the port and answer probes
+	// before recovery starts — /healthz says the process is alive while
+	// /readyz answers 503 until the collection is loaded — so an
+	// orchestrator can tell "recovering a big directory" from "crashed".
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sw := server.NewSwapper()
+	srv := &http.Server{Handler: sw}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	log.Printf("koios-server: listening on %s, loading collection (readyz 503 until recovery completes)", ln.Addr())
 
 	mgr, err := loadManager(*data, *dataset, *scale, *dir, core.Options{
 		K:           *k,
@@ -91,25 +108,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	handler := server.New(mgr, server.Config{
+	sw.Swap(server.New(mgr, server.Config{
 		K:             *k,
 		Alpha:         *alpha,
 		Partitions:    *parts,
 		Workers:       *verifyW,
 		SearchWorkers: *workers,
 		QueryTimeout:  *qTimeout,
-	})
-
-	srv := &http.Server{Addr: *addr, Handler: handler}
-	errCh := make(chan error, 1)
-	go func() {
-		durability := "in-memory"
-		if mgr.Dir() != "" {
-			durability = "durable in " + mgr.Dir()
+		MaxQueueDepth: *maxQueue,
+	}))
+	if h := mgr.Health(); h.Degraded {
+		log.Printf("koios-server: WARNING: recovery quarantined %d damaged file(s); serving the survivors degraded — POST /v1/repair to re-persist and clear", len(h.Quarantined))
+		for _, q := range h.Quarantined {
+			log.Printf("koios-server:   quarantined %s: %s", q.File, q.Reason)
 		}
-		log.Printf("koios-server: %d sets, %d tokens, %s, listening on %s", mgr.Len(), mgr.VocabSize(), durability, *addr)
-		errCh <- srv.ListenAndServe()
-	}()
+	}
+	durability := "in-memory"
+	if mgr.Dir() != "" {
+		durability = "durable in " + mgr.Dir()
+	}
+	log.Printf("koios-server: ready — %d sets, %d tokens, %s", mgr.Len(), mgr.VocabSize(), durability)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)

@@ -36,6 +36,11 @@ type Config struct {
 	QueriesPerInterval int
 	// Timeout bounds each baseline query (the paper uses 2500 s).
 	Timeout time.Duration
+	// ChaosIters and ChaosSeed parameterize the chaos experiment: the
+	// number of randomized fault/corruption injections (default 100) and
+	// the reproducibility seed (default 1).
+	ChaosIters int
+	ChaosSeed  int64
 }
 
 func (c Config) withDefaults() Config {
@@ -87,7 +92,7 @@ func Experiments() []string {
 		"fig5a", "fig5bc", "fig5d", "fig6a", "fig6bc", "fig6d",
 		"fig7a", "fig7b", "fig7c", "fig7d", "fig8",
 		"silkmoth", "ablation", "mixed", "recovery", "throughput",
-		"lazystream",
+		"lazystream", "chaos",
 	}
 }
 
@@ -148,6 +153,8 @@ func (r *Runner) Run(exp string) error {
 		return r.Throughput()
 	case "lazystream":
 		return r.LazyStream()
+	case "chaos":
+		return r.Chaos()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (want one of %v)", exp, Experiments())
 	}

@@ -1,0 +1,26 @@
+package chaos
+
+import "testing"
+
+// TestChaosSmoke runs a bounded randomized injection sweep; the full
+// ≥300-iteration run is the bench "chaos" experiment wired into CI.
+func TestChaosSmoke(t *testing.T) {
+	iters := 40
+	if testing.Short() {
+		iters = 12
+	}
+	rep, err := Run(Config{Iters: iters, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iters != iters {
+		t.Fatalf("completed %d/%d iterations", rep.Iters, iters)
+	}
+	if rep.Crashes == 0 || rep.Corruptions == 0 {
+		t.Fatalf("sweep skipped a mode: %+v", rep)
+	}
+	if rep.FullRecoveries == 0 {
+		t.Fatalf("no full recoveries at all: %+v", rep)
+	}
+	t.Logf("chaos report: %+v", rep)
+}

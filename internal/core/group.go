@@ -127,15 +127,23 @@ func (g *Group) SearchContext(ctx context.Context, query []string) ([]GroupResul
 		// vocabulary-bound sources, no retrieval probe) — exactly what an
 		// engine that never saw those sets would do.
 		for i, id := range qids {
-			if id >= 0 && g.LiveTokens[id>>6]&(1<<(uint(id)&63)) == 0 {
-				if g.ProbeLiveOnly {
-					if skip == nil {
-						skip = make([]bool, len(query))
-					}
-					skip[i] = true
-				}
-				qids[i] = -1
+			live := id >= 0 && g.LiveTokens[id>>6]&(1<<(uint(id)&63)) != 0
+			if live {
+				continue
 			}
+			// Not live: either dead (id ≥ 0, bit clear) or unresolvable in the
+			// lead repository (id -1). The latter still needs the probe gate —
+			// the shared dictionary can hold tokens beyond every live segment's
+			// vocabulary horizon (e.g. rows lost to a quarantined segment), and
+			// a vocabulary-bound source built over that dictionary would happily
+			// retrieve neighbors a from-scratch index could never produce.
+			if g.ProbeLiveOnly {
+				if skip == nil {
+					skip = make([]bool, len(query))
+				}
+				skip[i] = true
+			}
+			qids[i] = -1
 		}
 	}
 

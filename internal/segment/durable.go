@@ -1,10 +1,13 @@
 package segment
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"math/bits"
-	"os"
 	"path/filepath"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/sets"
@@ -38,11 +41,54 @@ import (
 // checkpointed state: a replayed delete whose effect is already in the
 // manifest's tombstones targets a name that is no longer live (no-op), and
 // a replayed insert lands in the memtable exactly as the original did.
+//
+// Corruption handling (DESIGN.md §11): a snapshot or dictionary file that
+// fails its checksum (or structural checks) during recovery is moved into
+// quarantine/ instead of aborting Open; the manager serves the surviving
+// segments with Health().Degraded set, and Scrub/Repair re-verify and
+// re-persist the collection. The quarantine invariant: damaged state is
+// either excluded *visibly* (degraded + quarantined file list) or fully
+// recovered — never silently dropped.
+
+// Logf reports resilience events — quarantined files, post-commit cleanup
+// failures — through the standard logger by default. Tests and embedders
+// may replace it.
+var Logf = log.Printf
+
+// QuarantineDirName is the subdirectory (inside a manager's data
+// directory) that damaged files are moved to.
+const QuarantineDirName = "quarantine"
+
+// QuarantinedFile records one damaged file set aside during recovery.
+type QuarantinedFile struct {
+	// File is the file's name inside the data directory (now found under
+	// quarantine/, unless the move itself failed — see Reason).
+	File string `json:"file"`
+	// Reason describes the damage that disqualified the file.
+	Reason string `json:"reason"`
+}
+
+// Health is the manager's resilience state.
+type Health struct {
+	// Degraded reports that recovery quarantined damaged files: the
+	// collection serves the survivors, which may be less than everything
+	// ever acknowledged. A successful Repair clears it.
+	Degraded bool `json:"degraded"`
+	// Quarantined lists the files recovery set aside, oldest first.
+	Quarantined []QuarantinedFile `json:"quarantined,omitempty"`
+}
+
+// Health returns the manager's resilience state.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Health{Degraded: m.degraded, Quarantined: slices.Clone(m.quarantined)}
+}
 
 // Initialized reports whether dir holds a committed manifest — i.e. Open
 // would recover an existing collection instead of seeding a new one.
 func Initialized(dir string) bool {
-	m, err := store.LoadManifest(dir)
+	m, err := store.LoadManifest(store.OS, dir)
 	return err == nil && m != nil
 }
 
@@ -52,11 +98,21 @@ func Initialized(dir string) bool {
 // initializes a fresh directory, which is checkpointed immediately so the
 // seed itself survives a crash. The source builder runs over the loaded
 // dictionary, so index coverage matches a from-scratch build.
+//
+// Recovery is corruption-tolerant: snapshot/dictionary/WAL files that fail
+// their checksums are quarantined and the manager opens degraded over the
+// survivors (see Health). Only a damaged manifest — tiny, and committed by
+// atomic rename — is a hard error: without the root there is nothing
+// trustworthy to recover from.
 func Open(dir string, seed []sets.Set, build SourceBuilder, opts core.Options, cfg Config) (*Manager, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = store.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("segment: %w", err)
 	}
-	man, err := store.LoadManifest(dir)
+	man, err := store.LoadManifest(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -77,32 +133,52 @@ func Open(dir string, seed []sets.Set, build SourceBuilder, opts core.Options, c
 // recoverDir rebuilds a manager from a committed manifest: dictionary, then
 // segment snapshots (manifest tombstones win over write-time ones), then
 // WAL replay through the exact insert/delete paths live traffic uses.
+// Damaged files are quarantined, not fatal — the manager comes up degraded
+// over whatever survives.
 func recoverDir(dir string, man *store.Manifest, build SourceBuilder, opts core.Options, cfg Config) (*Manager, error) {
-	tokens, err := store.LoadDict(filepath.Join(dir, man.Dict))
-	if err != nil {
-		return nil, err
-	}
-	dict, err := sets.NewDictionaryFromTokens(tokens)
-	if err != nil {
-		return nil, err
-	}
 	m := &Manager{
-		dict:     dict,
 		opts:     opts,
 		cfg:      cfg.withDefaults(),
 		where:    make(map[string]loc),
 		dir:      dir,
+		fs:       cfg.FS,
 		gen:      man.Gen,
 		dictFile: man.Dict,
-		dictN:    len(tokens),
+	}
+	if m.fs == nil {
+		m.fs = store.OS
+	}
+
+	// The dictionary is the decoder ring for every interned snapshot: if it
+	// is unreadable, no segment file can be decoded either, so all of them
+	// are quarantined alongside it and recovery continues from the WAL
+	// alone (records carry raw strings).
+	dictBroken := false
+	tokens, err := store.LoadDict(m.fs, filepath.Join(dir, man.Dict))
+	if err == nil {
+		if m.dict, err = sets.NewDictionaryFromTokens(tokens); err == nil {
+			m.dictN = len(tokens)
+		}
+	}
+	if err != nil {
+		m.quarantine(man.Dict, fmt.Sprintf("dictionary unreadable: %v", err))
+		dictBroken = true
+		m.dict = sets.NewDictionary()
+		m.dictFile = "" // force a rewrite at the next checkpoint
+		m.dictN = 0
 	}
 	m.wireSource(build)
 
 	m.nextHandle = man.NextHandle
 	for _, ms := range man.Segments {
+		if dictBroken {
+			m.quarantine(ms.File, "dictionary lost: interned rows are undecodable")
+			continue
+		}
 		s, err := m.loadSegment(ms)
 		if err != nil {
-			return nil, err
+			m.quarantine(ms.File, err.Error())
+			continue
 		}
 		m.sealed = append(m.sealed, s)
 		var id uint64
@@ -115,13 +191,36 @@ func recoverDir(dir string, man *store.Manifest, build SourceBuilder, opts core.
 	// committed. This must precede WAL replay: replay can arm a background
 	// compaction whose own checkpoint commits a newer generation, and a
 	// sweep keyed on this (then stale) manifest would delete its files.
-	removeOrphans(dir, man)
+	m.removeOrphans(man)
 
-	wal, recs, err := store.OpenWAL(filepath.Join(dir, man.WAL), man.Gen)
-	if err != nil {
-		return nil, err
+	// The WAL is scanned read-only first so mid-log corruption (intact
+	// records beyond a corrupt frame) is detected — and the evidence copied
+	// to quarantine/ — before OpenWAL truncates the tail for appending. An
+	// unreadable WAL (bad header, wrong generation, missing) is quarantined
+	// whole and replaced by an empty log of the same generation: the
+	// checkpointed state still serves, degraded.
+	walPath := filepath.Join(dir, man.WAL)
+	var recs []store.WALRecord
+	if _, _, damaged, err := store.ScanWAL(m.fs, walPath, man.Gen); err != nil {
+		m.quarantine(man.WAL, fmt.Sprintf("WAL unreadable: %v", err))
+		wal, cerr := store.CreateWAL(m.fs, walPath, man.Gen)
+		if cerr != nil {
+			return nil, fmt.Errorf("segment: recreate WAL after quarantine: %w", cerr)
+		}
+		m.wal = wal
+	} else {
+		if damaged {
+			m.copyToQuarantine(man.WAL,
+				"mid-WAL corruption: intact records beyond a corrupt frame were dropped")
+		}
+		wal, r, err := store.OpenWAL(m.fs, walPath, man.Gen)
+		if err != nil {
+			return nil, err
+		}
+		m.wal = wal
+		recs = r
 	}
-	m.wal = wal
+
 	// Replay under the writer lock: applying an insert can trigger a seal,
 	// and a seal can spawn a background compaction that contends for mu.
 	m.mu.Lock()
@@ -131,7 +230,7 @@ func recoverDir(dir string, man *store.Manifest, build SourceBuilder, opts core.
 		case store.WALInsert:
 			if m.dyn == nil {
 				m.mu.Unlock()
-				wal.Close()
+				m.wal.Close()
 				return nil, fmt.Errorf("segment: WAL %s contains inserts but the similarity index is static", man.WAL)
 			}
 			m.applyInsertLocked(rec.Handle, rec.Name, rec.Elements)
@@ -147,12 +246,73 @@ func recoverDir(dir string, man *store.Manifest, build SourceBuilder, opts core.
 	return m, nil
 }
 
+// quarantine moves a damaged file into quarantine/ and records it; the
+// manager is degraded from here on. A file that cannot be moved (or no
+// longer exists) is still recorded, and protected from the orphan sweep so
+// the evidence survives in place. Called before the manager is shared, or
+// with m.mu held.
+func (m *Manager) quarantine(name, reason string) {
+	qdir := filepath.Join(m.dir, QuarantineDirName)
+	if err := m.fs.MkdirAll(qdir, 0o755); err != nil {
+		Logf("segment: quarantine dir: %v", err)
+	}
+	if err := m.fs.Rename(filepath.Join(m.dir, name), filepath.Join(qdir, name)); err != nil {
+		Logf("segment: quarantine %s (%s): move failed: %v", name, reason, err)
+		if m.keep == nil {
+			m.keep = make(map[string]bool)
+		}
+		m.keep[name] = true
+	} else {
+		Logf("segment: quarantined %s: %s", name, reason)
+	}
+	m.quarantined = append(m.quarantined, QuarantinedFile{File: name, Reason: reason})
+	m.degraded = true
+}
+
+// copyToQuarantine preserves a byte-for-byte copy of a file in
+// quarantine/ (for damage where the original must stay in service, e.g. a
+// WAL whose valid prefix is still being replayed) and records the
+// degradation. Best-effort on I/O: the degraded flag is set regardless.
+func (m *Manager) copyToQuarantine(name, reason string) {
+	m.quarantined = append(m.quarantined, QuarantinedFile{File: name, Reason: reason})
+	m.degraded = true
+	raw, err := readFile(m.fs, filepath.Join(m.dir, name))
+	if err != nil {
+		Logf("segment: quarantine copy %s (%s): %v", name, reason, err)
+		return
+	}
+	qdir := filepath.Join(m.dir, QuarantineDirName)
+	if err := m.fs.MkdirAll(qdir, 0o755); err != nil {
+		Logf("segment: quarantine dir: %v", err)
+		return
+	}
+	f, err := m.fs.Create(filepath.Join(qdir, name))
+	if err != nil {
+		Logf("segment: quarantine copy %s (%s): %v", name, reason, err)
+		return
+	}
+	if _, err := f.Write(raw); err != nil {
+		Logf("segment: quarantine copy %s (%s): %v", name, reason, err)
+	}
+	f.Close()
+	Logf("segment: quarantined a copy of %s: %s", name, reason)
+}
+
+func readFile(fsys store.FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
 // loadSegment materializes one manifest segment: snapshot rows through
 // sets.NewInternedSegment (bounds-checked against the recorded horizon), a
 // rebuilt engine, and live-row registration in the location map and
 // live-token refcounts.
 func (m *Manager) loadSegment(ms store.ManifestSegment) (*seg, error) {
-	snap, err := store.LoadSegment(filepath.Join(m.dir, ms.File))
+	snap, err := store.LoadSegment(m.fs, filepath.Join(m.dir, ms.File))
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +394,7 @@ func (m *Manager) checkpointLocked() error {
 			continue
 		}
 		name := fmt.Sprintf("seg-%08d.kseg", m.nextSegID)
-		if err := store.SaveSegment(filepath.Join(m.dir, name), segSnapshotOf(s)); err != nil {
+		if err := store.SaveSegment(m.fs, filepath.Join(m.dir, name), segSnapshotOf(s)); err != nil {
 			return err
 		}
 		s.file = name
@@ -243,12 +403,12 @@ func (m *Manager) checkpointLocked() error {
 	dictFile := m.dictFile
 	if dictFile == "" || m.dict.Size() != m.dictN {
 		dictFile = fmt.Sprintf("dict-%08d.kdict", m.gen+1)
-		if err := store.SaveDict(filepath.Join(m.dir, dictFile), m.dict.Snapshot()); err != nil {
+		if err := store.SaveDict(m.fs, filepath.Join(m.dir, dictFile), m.dict.Snapshot()); err != nil {
 			return err
 		}
 	}
 	walName := fmt.Sprintf("wal-%08d.kwal", m.gen+1)
-	wal, err := store.CreateWAL(filepath.Join(m.dir, walName), m.gen+1)
+	wal, err := store.CreateWAL(m.fs, filepath.Join(m.dir, walName), m.gen+1)
 	if err != nil {
 		return err
 	}
@@ -258,19 +418,33 @@ func (m *Manager) checkpointLocked() error {
 		ms.SetDead(s.deadMaster)
 		man.Segments = append(man.Segments, ms)
 	}
-	if err := store.CommitManifest(m.dir, man); err != nil {
+	commitErr := store.CommitManifest(m.fs, m.dir, man)
+	if commitErr != nil && !errors.Is(commitErr, store.ErrUnsyncedCommit) {
 		wal.Close()
-		os.Remove(filepath.Join(m.dir, walName))
-		return err
+		m.fs.Remove(filepath.Join(m.dir, walName))
+		return commitErr
 	}
 	if m.wal != nil {
-		m.wal.Close()
+		// Post-commit: the new manifest is already authoritative, so a
+		// failed close of the superseded log costs nothing but deserves a
+		// trace.
+		if err := m.wal.Close(); err != nil {
+			Logf("segment: close superseded WAL: %v", err)
+		}
 	}
 	m.wal = wal
 	m.gen = man.Gen
 	m.dictFile = dictFile
 	m.dictN = m.dict.Size()
-	removeOrphans(m.dir, man)
+	if commitErr != nil {
+		// The rename landed, so the new manifest rules this directory and
+		// the files it names must stay — but its durability across a power
+		// cut is unproven, so the previous generation's files stay too (a
+		// lost rename would resurrect the old manifest). The next cleanly
+		// synced checkpoint removes them.
+		return &DurabilityError{Err: commitErr}
+	}
+	m.removeOrphans(man)
 	return nil
 }
 
@@ -293,13 +467,18 @@ func segSnapshotOf(s *seg) *store.SegmentSnapshot {
 // removeOrphans deletes engine files the manifest no longer references:
 // segments dropped by compaction, previous WAL/dictionary generations, and
 // leftovers of checkpoints that crashed before their manifest committed.
-// Best-effort — an undeletable orphan costs disk, not correctness.
-func removeOrphans(dir string, man *store.Manifest) {
+// Files in m.keep (quarantine evidence that could not be moved) and the
+// quarantine/ directory itself are never touched. Best-effort — an
+// undeletable orphan costs disk, not correctness.
+func (m *Manager) removeOrphans(man *store.Manifest) {
 	keep := map[string]bool{store.ManifestName: true, man.Dict: true, man.WAL: true}
 	for _, s := range man.Segments {
 		keep[s.File] = true
 	}
-	entries, err := os.ReadDir(dir)
+	for name := range m.keep {
+		keep[name] = true
+	}
+	entries, err := m.fs.ReadDir(m.dir)
 	if err != nil {
 		return
 	}
@@ -310,13 +489,98 @@ func removeOrphans(dir string, man *store.Manifest) {
 		}
 		switch filepath.Ext(name) {
 		case ".kseg", ".kdict", ".kwal":
-			os.Remove(filepath.Join(dir, name))
+			m.fs.Remove(filepath.Join(m.dir, name))
 		default:
 			if name == store.ManifestName+".tmp" {
-				os.Remove(filepath.Join(dir, name))
+				m.fs.Remove(filepath.Join(m.dir, name))
 			}
 		}
 	}
+}
+
+// ScrubReport summarizes one checksum re-verification pass over the live
+// engine files.
+type ScrubReport struct {
+	// Checked counts the files verified (dictionary, segment snapshots,
+	// and the active WAL).
+	Checked int `json:"checked"`
+	// Corrupt names the live files that failed verification.
+	Corrupt []string `json:"corrupt,omitempty"`
+}
+
+// Scrub re-verifies the checksums of every live engine file — the
+// dictionary snapshot, each persisted segment, and the active WAL — and
+// reports what is damaged on disk. Read-only; Repair rebuilds. In-memory
+// managers report an empty pass.
+func (m *Manager) Scrub() ScrubReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scrubLocked()
+}
+
+func (m *Manager) scrubLocked() ScrubReport {
+	var rep ScrubReport
+	if m.dir == "" {
+		return rep
+	}
+	if m.dictFile != "" {
+		rep.Checked++
+		if _, err := store.LoadDict(m.fs, filepath.Join(m.dir, m.dictFile)); err != nil {
+			rep.Corrupt = append(rep.Corrupt, m.dictFile)
+		}
+	}
+	for _, s := range m.sealed {
+		if s.file == "" {
+			continue
+		}
+		rep.Checked++
+		if _, err := store.LoadSegment(m.fs, filepath.Join(m.dir, s.file)); err != nil {
+			rep.Corrupt = append(rep.Corrupt, s.file)
+		}
+	}
+	if m.wal != nil {
+		rep.Checked++
+		if _, _, damaged, err := store.ScanWAL(m.fs, m.wal.Path(), m.gen); err != nil || damaged {
+			rep.Corrupt = append(rep.Corrupt, filepath.Base(m.wal.Path()))
+		}
+	}
+	return rep
+}
+
+// Repair re-verifies every live engine file and re-persists the collection
+// when anything is damaged on disk: corrupt files are detached from their
+// in-memory state (which is intact — it was loaded before the damage or
+// built after it) and a fresh checkpoint rewrites them, commits a new
+// manifest, and sweeps the bad copies. A corrupt WAL needs no marking —
+// every checkpoint starts a new log. On success the manager leaves
+// degraded mode; quarantine/ is kept for the operator. The returned report
+// is the pre-repair scrub.
+func (m *Manager) Repair() (ScrubReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ScrubReport{}, ErrClosed
+	}
+	if m.dir == "" {
+		return ScrubReport{}, nil
+	}
+	rep := m.scrubLocked()
+	for _, name := range rep.Corrupt {
+		if name == m.dictFile {
+			m.dictFile = "" // force the dictionary rewrite
+			continue
+		}
+		for _, s := range m.sealed {
+			if s.file == name {
+				s.file = ""
+			}
+		}
+	}
+	if err := m.checkpointLocked(); err != nil {
+		return rep, err
+	}
+	m.degraded = false
+	return rep, nil
 }
 
 // Dir returns the manager's data directory, empty for in-memory managers.

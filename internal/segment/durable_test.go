@@ -142,7 +142,7 @@ func TestDurableEquivalenceAcrossKinds(t *testing.T) {
 
 			// A graceful close leaves an empty WAL: everything is in
 			// checkpointed segments.
-			man, err := store.LoadManifest(dir)
+			man, err := store.LoadManifest(store.OS, dir)
 			if err != nil || man == nil {
 				t.Fatalf("manifest after churn: %v, %v", man, err)
 			}
@@ -161,7 +161,7 @@ func TestDurableEquivalenceAcrossKinds(t *testing.T) {
 // openScan reads the manifest's WAL without keeping it open.
 func openScan(t *testing.T, dir string, man *store.Manifest) (*store.WAL, []store.WALRecord, error) {
 	t.Helper()
-	w, recs, err := store.OpenWAL(filepath.Join(dir, man.WAL), man.Gen)
+	w, recs, err := store.OpenWAL(store.OS, filepath.Join(dir, man.WAL), man.Gen)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -252,7 +252,7 @@ func TestKillAtAnyWALPrefix(t *testing.T) {
 	walSizes := []int64{}
 	oracleAt := [][]sets.Set{}
 	snapshotState := func() {
-		man, err := store.LoadManifest(dir)
+		man, err := store.LoadManifest(store.OS, dir)
 		if err != nil || man == nil {
 			t.Fatalf("manifest: %v, %v", man, err)
 		}
@@ -323,7 +323,7 @@ func TestDurableLifecycleAndLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	man, err := store.LoadManifest(dir)
+	man, err := store.LoadManifest(store.OS, dir)
 	if err != nil || man == nil {
 		t.Fatalf("fresh open did not commit a manifest: %v, %v", man, err)
 	}
@@ -337,14 +337,14 @@ func TestDurableLifecycleAndLayout(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	man, _ = store.LoadManifest(dir)
+	man, _ = store.LoadManifest(store.OS, dir)
 	if _, recs, err := openScan(t, dir, man); err != nil || len(recs) != 3 {
 		t.Fatalf("pre-seal WAL: %d records, %v", len(recs), err)
 	}
 	if _, err := m.Insert(all[7].Name, all[7].Elements); err != nil {
 		t.Fatal(err)
 	}
-	man, _ = store.LoadManifest(dir)
+	man, _ = store.LoadManifest(store.OS, dir)
 	if _, recs, err := openScan(t, dir, man); err != nil || len(recs) != 0 {
 		t.Fatalf("seal did not truncate WAL: %d records, %v", len(recs), err)
 	}
@@ -360,7 +360,7 @@ func TestDurableLifecycleAndLayout(t *testing.T) {
 	if err := m.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	man, _ = store.LoadManifest(dir)
+	man, _ = store.LoadManifest(store.OS, dir)
 	tomb := 0
 	for _, ms := range man.Segments {
 		words, err := ms.Dead()

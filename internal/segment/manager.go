@@ -91,6 +91,11 @@ type Config struct {
 	// negative disables the cache. Cached values cannot change results:
 	// dictionary IDs are append-only and similarity functions are pure.
 	SimCacheSize int
+	// FS overrides the filesystem the durable layer writes through (nil
+	// uses the real one). Tests inject store.FaultFS here to exercise
+	// short writes, ENOSPC, fsync failures, and crash points (DESIGN.md
+	// §11).
+	FS store.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -209,6 +214,7 @@ type Manager struct {
 	// WAL appends and checkpoints while recovery re-applies logged
 	// operations; closed fails further mutations.
 	dir       string
+	fs        store.FS
 	wal       *store.WAL
 	gen       uint64
 	nextSegID uint64
@@ -216,6 +222,16 @@ type Manager struct {
 	dictN     int
 	replaying bool
 	closed    bool
+
+	// Resilience state (DESIGN.md §11): degraded reports that recovery
+	// quarantined damaged files (the collection is serving survivors, not
+	// necessarily everything that was ever acknowledged) until a Repair
+	// re-persists a complete checkpoint. quarantined lists what was moved
+	// aside and why; keep names files the orphan sweep must not delete
+	// (evidence that could not be moved into quarantine/).
+	degraded    bool
+	quarantined []QuarantinedFile
+	keep        map[string]bool
 
 	compactMu  sync.Mutex // serializes whole compactions (never held by Search)
 	compacting atomic.Bool
@@ -233,6 +249,10 @@ func NewManager(seed []sets.Set, build SourceBuilder, opts core.Options, cfg Con
 		opts:  opts,
 		cfg:   cfg.withDefaults(),
 		where: make(map[string]loc),
+		fs:    cfg.FS,
+	}
+	if m.fs == nil {
+		m.fs = store.OS
 	}
 	var repo *sets.Repository
 	if len(seed) > 0 {

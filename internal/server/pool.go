@@ -20,13 +20,15 @@ import (
 // queue wait, queries completed and timed out, and a fixed ring of recent
 // query latencies from which /v1/info derives p50/p95/p99.
 type workerPool struct {
-	sem chan struct{}
+	sem      chan struct{}
+	maxQueue int64 // queue depth beyond which new queries are shed
 
 	queued   atomic.Int64 // waiting for a slot right now
 	active   atomic.Int64 // holding a slot right now
 	queries  atomic.Int64 // queries completed (single + per batch entry)
 	batches  atomic.Int64 // batch requests completed
 	timeouts atomic.Int64 // queries that hit the per-query timeout
+	sheds    atomic.Int64 // queries refused at admission (429)
 	waitNS   atomic.Int64 // cumulative time spent waiting for a slot
 
 	// lat is a lock-free ring of the most recent query latencies in
@@ -37,14 +39,31 @@ type workerPool struct {
 
 const latRingSize = 1024
 
-func newWorkerPool(workers int) *workerPool {
+func newWorkerPool(workers, maxQueue int) *workerPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &workerPool{sem: make(chan struct{}, workers)}
+	if maxQueue <= 0 {
+		maxQueue = 8 * workers
+	}
+	return &workerPool{sem: make(chan struct{}, workers), maxQueue: int64(maxQueue)}
 }
 
 func (p *workerPool) size() int { return cap(p.sem) }
+
+// admit decides whether a new query may join the queue; false sheds it
+// (the caller answers 429). The check-then-enqueue pair is not atomic, so
+// the bound is approximate under racing admissions — load shedding needs a
+// level, not an exact count. Shedding at admission keeps the p99 of
+// admitted queries bounded: beyond maxQueue waiters, queue time dominates
+// any timeout budget and every admitted query would miss it anyway.
+func (p *workerPool) admit() bool {
+	if p.queued.Load() >= p.maxQueue {
+		p.sheds.Add(1)
+		return false
+	}
+	return true
+}
 
 // acquire blocks until a worker slot is free or ctx is done, accounting the
 // queue wait either way.

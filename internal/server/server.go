@@ -67,6 +67,11 @@ type Config struct {
 	// MaxBatchQueries caps the number of queries in one batch request.
 	// Default 256.
 	MaxBatchQueries int
+	// MaxQueueDepth is the worker-pool queue depth beyond which new search
+	// requests are shed with 429 + Retry-After instead of queueing — the
+	// admission control that keeps the p99 of admitted queries bounded
+	// under overload. Default: 8 × SearchWorkers.
+	MaxQueueDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +107,9 @@ type Server struct {
 	lazyCuts        atomic.Int64
 	streamTuples    atomic.Int64
 	streamRetrieved atomic.Int64
+	// panics counts handler panics swallowed by the recovery middleware —
+	// each one answered 500 instead of killing the process (DESIGN.md §11).
+	panics atomic.Int64
 }
 
 // recordStreamStats folds one query's stream counters into the /v1/info
@@ -130,7 +138,7 @@ func New(mgr *segment.Manager, cfg Config) *Server {
 		cfg:   cfg,
 		mgr:   mgr,
 		mux:   http.NewServeMux(),
-		pool:  newWorkerPool(cfg.SearchWorkers),
+		pool:  newWorkerPool(cfg.SearchWorkers, cfg.MaxQueueDepth),
 		start: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
@@ -139,14 +147,71 @@ func New(mgr *segment.Manager, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sets", s.handleInsert)
 	s.mux.HandleFunc("GET /v1/sets/{name}", s.handleGetSet)
 	s.mux.HandleFunc("DELETE /v1/sets/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/scrub", s.handleScrub)
+	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler, wrapping every request in panic
+// recovery: one query tripping a bug answers 500 (and bumps the panic
+// counter in /v1/info) instead of killing the process and every other
+// in-flight query with it. http.ErrAbortHandler re-panics — it is the
+// sanctioned way to abort a response, not a bug.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	sw := &statusRecorder{ResponseWriter: w}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		s.panics.Add(1)
+		if !sw.wrote {
+			httpError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(sw, r)
+}
+
+// statusRecorder tracks whether the handler already started the response,
+// so panic recovery knows if a 500 can still be written.
+type statusRecorder struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.wrote = true
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(p)
+}
+
+// shed answers a search the admission control refused: 429 with a
+// Retry-After derived from the current backlog — queue depth over pool
+// size, scaled by the recent median latency — so well-behaved clients back
+// off proportionally to the overload instead of hammering a fixed beat.
+func (s *Server) shed(w http.ResponseWriter) {
+	p50, _, _ := s.pool.percentiles()
+	if p50 <= 0 {
+		p50 = 50 * time.Millisecond
+	}
+	backlog := (s.pool.queued.Load()/int64(s.pool.size()) + 1) * int64(p50)
+	secs := int64(time.Duration(backlog).Seconds() + 1)
+	if secs > 30 {
+		secs = 30
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	httpError(w, http.StatusTooManyRequests,
+		fmt.Sprintf("overloaded: %d queries queued on %d workers", s.pool.queued.Load(), s.pool.size()))
 }
 
 // SearchRequest is the body of POST /v1/search.
@@ -286,6 +351,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission control first: a full queue sheds the query now (429 +
+	// Retry-After) rather than queueing it into a timeout.
+	if !s.pool.admit() {
+		s.shed(w)
+		return
+	}
 	// One pool slot per query: concurrent requests beyond the pool size
 	// queue here instead of oversubscribing the CPU. The per-query deadline
 	// spans the queue wait and the search.
@@ -347,6 +418,13 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	k, ok := s.validateK(w, req.K)
 	if !ok {
+		return
+	}
+	// Admission control sheds the whole batch up front — admitting a batch
+	// the queue cannot absorb would just spread the overload across its
+	// entries as timeouts.
+	if !s.pool.admit() {
+		s.shed(w)
 		return
 	}
 
@@ -571,6 +649,24 @@ type InfoResponse struct {
 	// LazyStream aggregates the lazy token stream's cut-off savings across
 	// all served queries (DESIGN.md §10).
 	LazyStream LazyStreamInfo `json:"lazy_stream"`
+	// Resilience reports degraded mode, quarantined files, and the shed/
+	// panic counters (DESIGN.md §11).
+	Resilience ResilienceInfo `json:"resilience"`
+}
+
+// ResilienceInfo is the failure-handling section of /v1/info.
+type ResilienceInfo struct {
+	// Degraded mirrors segment.Health: recovery quarantined damaged files
+	// and the collection serves the survivors until a repair.
+	Degraded bool `json:"degraded"`
+	// Quarantined lists the files recovery set aside (with reasons);
+	// QuarantinedTotal is its length, for cheap assertions and dashboards.
+	Quarantined      []segment.QuarantinedFile `json:"quarantined,omitempty"`
+	QuarantinedTotal int                       `json:"quarantined_total"`
+	// ShedTotal counts queries refused at admission (429); PanicsTotal
+	// counts handler panics converted to 500s.
+	ShedTotal   int64 `json:"shed_total"`
+	PanicsTotal int64 `json:"panics_total"`
 }
 
 // LazyStreamInfo is the lazy-stream section of /v1/info: how many queries
@@ -634,6 +730,44 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		},
 		SimCache:   SimCacheInfo{CacheStats: cs, HitRate: cs.HitRate()},
 		LazyStream: s.lazyStreamInfo(),
+		Resilience: s.resilienceInfo(),
+	})
+}
+
+func (s *Server) resilienceInfo() ResilienceInfo {
+	h := s.mgr.Health()
+	return ResilienceInfo{
+		Degraded:         h.Degraded,
+		Quarantined:      h.Quarantined,
+		QuarantinedTotal: len(h.Quarantined),
+		ShedTotal:        s.pool.sheds.Load(),
+		PanicsTotal:      s.panics.Load(),
+	}
+}
+
+// ScrubResponse is the body of POST /v1/scrub and /v1/repair: the
+// verification pass plus the (post-operation) degraded state.
+type ScrubResponse struct {
+	Checked  int      `json:"checked"`
+	Corrupt  []string `json:"corrupt,omitempty"`
+	Degraded bool     `json:"degraded"`
+}
+
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	rep := s.mgr.Scrub()
+	writeJSON(w, http.StatusOK, ScrubResponse{
+		Checked: rep.Checked, Corrupt: rep.Corrupt, Degraded: s.mgr.Health().Degraded,
+	})
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.mgr.Repair()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "repair failed: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ScrubResponse{
+		Checked: rep.Checked, Corrupt: rep.Corrupt, Degraded: s.mgr.Health().Degraded,
 	})
 }
 
@@ -652,6 +786,23 @@ func (s *Server) lazyStreamInfo() LazyStreamInfo {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte("ok\n"))
+}
+
+// ReadyResponse is the body of GET /readyz.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Degraded is informational: a degraded server IS ready (it answers
+	// from the surviving segments); orchestrators that should avoid it can
+	// read the flag here or in /v1/info.
+	Degraded bool `json:"degraded"`
+}
+
+// handleReadyz answers readiness. A Server only exists once recovery and
+// WAL replay finished (segment.Open returned), so a reachable real server
+// is always ready — the "not ready yet" half of the protocol is served by
+// BootHandler while recovery still runs (see Swapper).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ReadyResponse{Ready: true, Degraded: s.mgr.Health().Degraded})
 }
 
 // errorBody is the JSON error envelope.

@@ -116,7 +116,7 @@ func TestWALRoundTripRandom(t *testing.T) {
 	dir := t.TempDir()
 	for trial := 0; trial < 10; trial++ {
 		path := filepath.Join(dir, fmt.Sprintf("t%d.kwal", trial))
-		w, err := CreateWAL(path, uint64(trial))
+		w, err := CreateWAL(OS, path, uint64(trial))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +145,7 @@ func TestWALRoundTripRandom(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Reopen, verify, append more, verify again.
-		w, got, err := OpenWAL(path, uint64(trial))
+		w, got, err := OpenWAL(OS, path, uint64(trial))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,7 +154,7 @@ func TestWALRoundTripRandom(t *testing.T) {
 		}
 		appendSome(rng.Intn(10))
 		w.Close()
-		_, got, err = OpenWAL(path, uint64(trial))
+		_, got, err = OpenWAL(OS, path, uint64(trial))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -247,7 +247,7 @@ func TestDictSegmentRejectCorruption(t *testing.T) {
 func TestWALTornTail(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "torn.kwal")
-	w, err := CreateWAL(path, 7)
+	w, err := CreateWAL(OS, path, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestWALTornTail(t *testing.T) {
 		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		w, recs, err := OpenWAL(path, 7)
+		w, recs, err := OpenWAL(OS, path, 7)
 		if err != nil {
 			t.Fatalf("cut %d: %v", cut, err)
 		}
@@ -295,7 +295,7 @@ func TestWALTornTail(t *testing.T) {
 			t.Fatal(err)
 		}
 		w.Close()
-		_, recs2, err := OpenWAL(path, 7)
+		_, recs2, err := OpenWAL(OS, path, 7)
 		if err != nil {
 			t.Fatalf("cut %d reopen: %v", cut, err)
 		}
@@ -309,12 +309,12 @@ func TestWALTornTail(t *testing.T) {
 // generation is refused outright.
 func TestWALRejectsMismatchedGeneration(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gen.kwal")
-	w, err := CreateWAL(path, 3)
+	w, err := CreateWAL(OS, path, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	w.Close()
-	if _, _, err := OpenWAL(path, 4); err == nil {
+	if _, _, err := OpenWAL(OS, path, 4); err == nil {
 		t.Fatal("mismatched generation accepted")
 	}
 }
@@ -330,10 +330,10 @@ func TestManifestRoundTripAndCorruption(t *testing.T) {
 	dead[2] = 1 << 1
 	seg.SetDead(dead)
 	m.Segments = append(m.Segments, seg, ManifestSegment{File: "seg-00000002.kseg", Rows: 1})
-	if err := CommitManifest(dir, m); err != nil {
+	if err := CommitManifest(OS, dir, m); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadManifest(dir)
+	got, err := LoadManifest(OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,20 +352,20 @@ func TestManifestRoundTripAndCorruption(t *testing.T) {
 	}
 
 	// Absent manifest: (nil, nil).
-	if man, err := LoadManifest(t.TempDir()); man != nil || err != nil {
+	if man, err := LoadManifest(OS, t.TempDir()); man != nil || err != nil {
 		t.Fatalf("empty dir: %v, %v", man, err)
 	}
 	// Corrupt JSON and wrong version are errors.
 	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{broken"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadManifest(dir); err == nil {
+	if _, err := LoadManifest(OS, dir); err == nil {
 		t.Fatal("corrupt manifest accepted")
 	}
 	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(`{"version":99,"dict":"d","wal":"w"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadManifest(dir); err == nil {
+	if _, err := LoadManifest(OS, dir); err == nil {
 		t.Fatal("future manifest version accepted")
 	}
 	// Tombstone bitset sized for the wrong row count is an error.

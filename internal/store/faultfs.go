@@ -1,0 +1,255 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// FaultFS wraps another FS and injects failures at chosen mutating
+// operations — the errfs half of the resilience story (DESIGN.md §11).
+// Reads always pass through untouched: faults model a disk that stops
+// accepting writes (ENOSPC, fsync failure, power loss mid-write), not one
+// that lies on reads; read-side corruption is exercised by flipping bits in
+// the files themselves.
+//
+// Every mutating operation (create, rename, remove, mkdir, syncdir, and
+// per-file write, sync, truncate) increments a global counter, so a test
+// can measure how many write points an operation has (run it clean, read
+// Ops) and then replay it with a fault armed at each point in turn.
+
+// Mutating operation kinds, as matched by Fault.Op.
+const (
+	OpWrite    = "write"
+	OpSync     = "sync"
+	OpCreate   = "create"
+	OpRename   = "rename"
+	OpRemove   = "remove"
+	OpTruncate = "truncate"
+	OpMkdir    = "mkdir"
+	OpSyncDir  = "syncdir"
+)
+
+// ErrCrashed is returned by every mutating operation after a crash fault
+// fired (or CrashNow was called): the simulated process is dead and nothing
+// reaches the disk anymore.
+var ErrCrashed = errors.New("store: simulated crash: no further writes reach disk")
+
+// ErrInjected is the default error of a fault that does not specify one.
+var ErrInjected = errors.New("store: injected fault")
+
+// Fault is one armed failure point.
+type Fault struct {
+	// Op filters which operation kind can fire the fault; empty matches any
+	// mutating operation.
+	Op string
+	// After is the number of matching operations allowed to succeed before
+	// the fault fires (0 = the very next matching operation).
+	After int
+	// Err is the error the faulted operation returns (ErrInjected when nil
+	// and Crash is unset).
+	Err error
+	// Short makes a faulted write persist a strict prefix of its buffer
+	// before failing — a torn write. Only meaningful on write operations.
+	Short bool
+	// Crash marks the fault as a simulated power cut: the faulted operation
+	// fails (with Err or ErrCrashed) and every mutating operation after it
+	// fails with ErrCrashed.
+	Crash bool
+}
+
+type faultState struct {
+	Fault
+	seen  int
+	fired bool
+}
+
+// FaultFS is a fault-injecting FS. Safe for concurrent use.
+type FaultFS struct {
+	base FS
+
+	mu     sync.Mutex
+	ops    int
+	faults []*faultState
+	fired  int
+	down   bool
+}
+
+// NewFaultFS wraps base (OS when nil).
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = OS
+	}
+	return &FaultFS{base: base}
+}
+
+// Inject arms one fault. Multiple faults may be armed; each fires at most
+// once.
+func (f *FaultFS) Inject(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, &faultState{Fault: fault})
+}
+
+// Ops returns the number of mutating operations attempted so far.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Fired returns how many armed faults have fired.
+func (f *FaultFS) Fired() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// Crashed reports whether a crash fault has fired (or CrashNow was called).
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down
+}
+
+// CrashNow fails every mutating operation from here on, as if the process
+// lost power between two operations.
+func (f *FaultFS) CrashNow() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down = true
+}
+
+// begin accounts one mutating operation and returns the fault to apply:
+// a non-nil error fails the operation; short additionally persists a
+// prefix first (write operations honor it, others ignore it).
+func (f *FaultFS) begin(op string) (err error, short bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.down {
+		return ErrCrashed, false
+	}
+	for _, fs := range f.faults {
+		if fs.fired || (fs.Op != "" && fs.Op != op) {
+			continue
+		}
+		if fs.seen < fs.After {
+			fs.seen++
+			continue
+		}
+		fs.fired = true
+		f.fired++
+		e := fs.Err
+		if fs.Crash {
+			f.down = true
+			if e == nil {
+				e = ErrCrashed
+			}
+		} else if e == nil {
+			e = ErrInjected
+		}
+		return e, fs.Short
+	}
+	return nil, false
+}
+
+func (f *FaultFS) Create(path string) (FSFile, error) {
+	if err, _ := f.begin(OpCreate); err != nil {
+		return nil, &os.PathError{Op: "create", Path: path, Err: err}
+	}
+	file, err := f.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, path: path}, nil
+}
+
+func (f *FaultFS) Open(path string) (FSFile, error) {
+	file, err := f.base.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// Read-only handles still route Truncate/Write attempts through the
+	// fault accounting (they would fail on the base file anyway).
+	return &faultFile{fs: f, f: file, path: path}, nil
+}
+
+func (f *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (FSFile, error) {
+	file, err := f.base.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, path: path}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err, _ := f.begin(OpRename); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if err, _ := f.begin(OpRemove); err != nil {
+		return &os.PathError{Op: "remove", Path: path, Err: err}
+	}
+	return f.base.Remove(path)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]os.DirEntry, error) { return f.base.ReadDir(dir) }
+
+func (f *FaultFS) MkdirAll(dir string, perm os.FileMode) error {
+	if err, _ := f.begin(OpMkdir); err != nil {
+		return &os.PathError{Op: "mkdir", Path: dir, Err: err}
+	}
+	return f.base.MkdirAll(dir, perm)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err, _ := f.begin(OpSyncDir); err != nil {
+		return &os.PathError{Op: "syncdir", Path: dir, Err: err}
+	}
+	return f.base.SyncDir(dir)
+}
+
+// faultFile routes a file's mutating calls through the owning FaultFS.
+type faultFile struct {
+	fs   *FaultFS
+	f    FSFile
+	path string
+}
+
+func (ff *faultFile) Read(p []byte) (int, error)                { return ff.f.Read(p) }
+func (ff *faultFile) Seek(off int64, whence int) (int64, error) { return ff.f.Seek(off, whence) }
+func (ff *faultFile) Close() error                              { return ff.f.Close() }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	err, short := ff.fs.begin(OpWrite)
+	if err == nil {
+		return ff.f.Write(p)
+	}
+	if short && len(p) > 1 {
+		// A torn write: a strict prefix reaches the disk, then the error.
+		n, werr := ff.f.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, &os.PathError{Op: "write", Path: ff.path, Err: err}
+	}
+	return 0, &os.PathError{Op: "write", Path: ff.path, Err: err}
+}
+
+func (ff *faultFile) Sync() error {
+	if err, _ := ff.fs.begin(OpSync); err != nil {
+		return &os.PathError{Op: "sync", Path: ff.path, Err: err}
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if err, _ := ff.fs.begin(OpTruncate); err != nil {
+		return &os.PathError{Op: "truncate", Path: ff.path, Err: err}
+	}
+	return ff.f.Truncate(size)
+}

@@ -1,0 +1,121 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestFaultFSOpFilterAndAfter(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS)
+	// Third write fails; everything else passes.
+	fsys.Inject(Fault{Op: OpWrite, After: 2, Err: syscall.ENOSPC})
+
+	f, err := fsys.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("doomed")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("third write err = %v, want ENOSPC", err)
+	}
+	// Each fault fires once: the next write succeeds again.
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after fault: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsys.Fired(); got != 1 {
+		t.Fatalf("Fired() = %d, want 1", got)
+	}
+	// Ops counted: create + 4 writes.
+	if got := fsys.Ops(); got != 5 {
+		t.Fatalf("Ops() = %d, want 5", got)
+	}
+}
+
+func TestFaultFSShortWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	fsys := NewFaultFS(OS)
+	fsys.Inject(Fault{Op: OpWrite, Short: true})
+
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if err == nil {
+		t.Fatal("short write must report an error")
+	}
+	if n != 5 {
+		t.Fatalf("short write persisted %d bytes, want 5", n)
+	}
+	f.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "01234" {
+		t.Fatalf("on disk %q, want the strict prefix %q", raw, "01234")
+	}
+}
+
+func TestFaultFSCrashStopsAllMutations(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS)
+	fsys.Inject(Fault{Op: OpRename, Crash: true})
+
+	f, err := fsys.Create(filepath.Join(dir, "pre"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := fsys.Rename(filepath.Join(dir, "pre"), filepath.Join(dir, "post")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename err = %v, want ErrCrashed", err)
+	}
+	if !fsys.Crashed() {
+		t.Fatal("Crashed() must report the crash")
+	}
+	// Everything mutating is dead now...
+	if _, err := fsys.Create(filepath.Join(dir, "late")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("create after crash err = %v, want ErrCrashed", err)
+	}
+	if err := fsys.SyncDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("syncdir after crash err = %v, want ErrCrashed", err)
+	}
+	// ...but reads still see the frozen directory, like a post-power-cut
+	// reboot inspecting the disk.
+	if _, err := fsys.Open(filepath.Join(dir, "pre")); err != nil {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "post")); !os.IsNotExist(err) {
+		t.Fatal("crashed rename must not reach the disk")
+	}
+}
+
+func TestFaultFSDefaultErrAndCrashNow(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS)
+	fsys.Inject(Fault{Op: OpMkdir})
+	if err := fsys.MkdirAll(filepath.Join(dir, "sub"), 0o755); !errors.Is(err, ErrInjected) {
+		t.Fatalf("mkdir err = %v, want ErrInjected", err)
+	}
+
+	fsys.CrashNow()
+	if err := fsys.Remove(filepath.Join(dir, "nope")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("remove after CrashNow err = %v, want ErrCrashed", err)
+	}
+}

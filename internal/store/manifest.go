@@ -4,6 +4,7 @@ import (
 	"encoding/base64"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -25,6 +26,14 @@ const ManifestVersion = 1
 
 // ManifestName is the manifest's file name inside the data directory.
 const ManifestName = "MANIFEST"
+
+// ErrUnsyncedCommit marks a manifest commit whose rename landed but whose
+// directory fsync failed: in the live filesystem the new manifest IS
+// authoritative (the rename overwrote the old one and cannot be rolled
+// back), but its durability across a power cut is unproven. Callers must
+// adopt the new manifest and may only treat the previous generation's
+// files as disposable once a later commit syncs cleanly.
+var ErrUnsyncedCommit = errors.New("store: manifest committed but directory sync failed")
 
 // ManifestSegment names one live segment snapshot. Dead is the segment's
 // current tombstone bitset — authoritative over the write-time bitset
@@ -93,15 +102,17 @@ type Manifest struct {
 }
 
 // CommitManifest atomically publishes m as dir's manifest
-// (write-temp-then-rename, with the temp file and directory fsynced).
-func CommitManifest(dir string, m *Manifest) error {
+// (write-temp-then-rename, with the temp file and directory fsynced). A
+// failed directory fsync propagates: the rename may not survive power loss,
+// so the commit cannot be reported durable.
+func CommitManifest(fsys FS, dir string, m *Manifest) error {
 	m.Version = ManifestVersion
 	raw, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encode manifest: %w", err)
 	}
 	tmp := filepath.Join(dir, ManifestName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -116,16 +127,19 @@ func CommitManifest(dir string, m *Manifest) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
 		return fmt.Errorf("store: commit manifest: %w", err)
 	}
-	return syncDir(dir)
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnsyncedCommit, err)
+	}
+	return nil
 }
 
 // LoadManifest reads dir's manifest. A directory that has never been
 // checkpointed returns (nil, nil).
-func LoadManifest(dir string) (*Manifest, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+func LoadManifest(fsys FS, dir string) (*Manifest, error) {
+	raw, err := readFileFS(fsys, filepath.Join(dir, ManifestName))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -143,16 +157,4 @@ func LoadManifest(dir string) (*Manifest, error) {
 		return nil, fmt.Errorf("store: corrupt manifest: missing dictionary or WAL name")
 	}
 	return &m, nil
-}
-
-// syncDir fsyncs a directory so a just-renamed manifest survives power
-// loss. Best-effort on filesystems that reject directory fsync.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return nil
-	}
-	defer d.Close()
-	d.Sync()
-	return nil
 }

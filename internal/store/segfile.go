@@ -11,7 +11,6 @@ package store
 import (
 	"fmt"
 	"io"
-	"os"
 )
 
 // File magics. A wrong magic means "not this kind of file" — the most
@@ -60,7 +59,11 @@ func ReadDict(r io.Reader) ([]string, error) {
 	}
 	n := br.count("dictionary token")
 	tokens := make([]string, 0, min(n, 1<<20))
-	for i := 0; i < n; i++ {
+	// Bail as soon as the reader's error sticks: a corrupt count field can
+	// claim up to maxBinCount entries, and looping through hundreds of
+	// millions of doomed reads turns one flipped bit into a multi-second,
+	// multi-gigabyte recovery stall.
+	for i := 0; i < n && br.err == nil; i++ {
 		tokens = append(tokens, br.str("dictionary token"))
 	}
 	if err := br.checkCRC(); err != nil {
@@ -124,21 +127,21 @@ func ReadSegment(r io.Reader) (*SegmentSnapshot, error) {
 	s := &SegmentSnapshot{VocabN: br.count("segment vocabulary")}
 	nRows := br.count("segment row")
 	s.Rows = make([]SegmentRow, 0, min(nRows, 1<<20))
-	for i := 0; i < nRows; i++ {
+	// Every loop checks the sticky error: a corrupt count field can claim
+	// up to maxBinCount entries, and grinding through them after the reader
+	// has already failed turns one flipped bit into a recovery stall.
+	for i := 0; i < nRows && br.err == nil; i++ {
 		row := SegmentRow{Handle: int64(br.uvarint()), Name: br.str("set name")}
 		nElem := br.count("set element")
 		row.ElemIDs = make([]int32, 0, min(nElem, 1<<20))
-		for j := 0; j < nElem; j++ {
+		for j := 0; j < nElem && br.err == nil; j++ {
 			row.ElemIDs = append(row.ElemIDs, int32(br.uvarint()))
 		}
 		s.Rows = append(s.Rows, row)
-		if br.err != nil {
-			break
-		}
 	}
 	nDead := br.count("tombstone word")
 	s.Dead = make([]uint64, 0, min(nDead, 1<<20))
-	for i := 0; i < nDead; i++ {
+	for i := 0; i < nDead && br.err == nil; i++ {
 		s.Dead = append(s.Dead, br.u64())
 	}
 	if err := br.checkCRC(); err != nil {
@@ -158,13 +161,13 @@ func ReadSegment(r io.Reader) (*SegmentSnapshot, error) {
 }
 
 // SaveDict writes the vocabulary to path and syncs it to stable storage.
-func SaveDict(path string, tokens []string) error {
-	return saveSynced(path, func(w io.Writer) error { return WriteDict(w, tokens) })
+func SaveDict(fsys FS, path string, tokens []string) error {
+	return saveSynced(fsys, path, func(w io.Writer) error { return WriteDict(w, tokens) })
 }
 
 // LoadDict reads the vocabulary at path.
-func LoadDict(path string) ([]string, error) {
-	f, err := os.Open(path)
+func LoadDict(fsys FS, path string) ([]string, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -173,13 +176,13 @@ func LoadDict(path string) ([]string, error) {
 }
 
 // SaveSegment writes the snapshot to path and syncs it to stable storage.
-func SaveSegment(path string, s *SegmentSnapshot) error {
-	return saveSynced(path, func(w io.Writer) error { return WriteSegment(w, s) })
+func SaveSegment(fsys FS, path string, s *SegmentSnapshot) error {
+	return saveSynced(fsys, path, func(w io.Writer) error { return WriteSegment(w, s) })
 }
 
 // LoadSegment reads the snapshot at path.
-func LoadSegment(path string) (*SegmentSnapshot, error) {
-	f, err := os.Open(path)
+func LoadSegment(fsys FS, path string) (*SegmentSnapshot, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -189,9 +192,10 @@ func LoadSegment(path string) (*SegmentSnapshot, error) {
 
 // saveSynced creates (or truncates) path, writes through fn, and fsyncs
 // before closing — a checkpoint file must be durable before the manifest
-// that references it commits.
-func saveSynced(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
+// that references it commits. Sync and Close failures both propagate: a
+// file we could not flush must never be treated as persisted.
+func saveSynced(fsys FS, path string, fn func(io.Writer) error) error {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -203,5 +207,8 @@ func saveSynced(path string, fn func(io.Writer) error) error {
 		f.Close()
 		return fmt.Errorf("store: sync %s: %w", path, err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	return nil
 }

@@ -40,17 +40,21 @@ type WALRecord struct {
 // WAL is an append-only operation log. Appends are not internally
 // synchronized — the segment manager serializes them under its writer lock.
 type WAL struct {
-	f    *os.File
+	f    FSFile
 	path string
 }
 
 // walHeaderLen is magic(5) + generation(8).
 const walHeaderLen = 13
 
+// walResyncLimit bounds how far past a corrupt frame ScanWAL looks for
+// later intact records (mid-log gap detection).
+const walResyncLimit = 4 << 20
+
 // CreateWAL creates (or truncates) an empty log for the given checkpoint
 // generation and syncs the header.
-func CreateWAL(path string, gen uint64) (*WAL, error) {
-	f, err := os.Create(path)
+func CreateWAL(fsys FS, path string, gen uint64) (*WAL, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -71,8 +75,8 @@ func CreateWAL(path string, gen uint64) (*WAL, error) {
 // OpenWAL opens an existing log, verifies it belongs to generation gen,
 // reads every complete record, truncates any torn tail (a crash mid-append),
 // and returns the log positioned for further appends.
-func OpenWAL(path string, gen uint64) (*WAL, []WALRecord, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+func OpenWAL(fsys FS, path string, gen uint64) (*WAL, []WALRecord, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
@@ -94,9 +98,59 @@ func OpenWAL(path string, gen uint64) (*WAL, []WALRecord, error) {
 	return &WAL{f: f, path: path}, recs, nil
 }
 
+// ScanWAL reads the log read-only: every complete record, the offset just
+// past the last one, and whether intact records exist beyond a corrupt
+// frame. A torn tail (crash mid-append) has nothing valid after the break,
+// so damaged=true means mid-log corruption — replaying only the prefix
+// would silently lose the later records, and the caller must surface that
+// (quarantine + degraded) instead of pretending the recovery was complete.
+func ScanWAL(fsys FS, path string, gen uint64) (recs []WALRecord, end int64, damaged bool, err error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	recs, end, err = scanWAL(f, gen)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return recs, end, scanForGap(f, end), nil
+}
+
+// scanForGap looks for a valid record frame strictly after the offset the
+// forward scan stopped at. A CRC-checked frame there cannot be torn-tail
+// debris — random bytes pass the size/CRC/decode gauntlet with probability
+// ~2⁻³². Bounded to walResyncLimit bytes; best-effort (read errors report
+// no gap).
+func scanForGap(f FSFile, end int64) bool {
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		return false
+	}
+	buf, err := io.ReadAll(io.LimitReader(f, walResyncLimit))
+	if err != nil || len(buf) <= 8 {
+		return false
+	}
+	// Offset 0 is the frame the forward scan already rejected; anything
+	// valid strictly after it means records were skipped.
+	for o := 1; o+8 < len(buf); o++ {
+		size := binary.LittleEndian.Uint32(buf[o : o+4])
+		if size > maxBinCount || o+8+int(size) > len(buf) {
+			continue
+		}
+		payload := buf[o+8 : o+8+int(size)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[o+4:o+8]) {
+			continue
+		}
+		if _, err := decodeWALRecord(payload); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // scanWAL reads records until EOF or the first torn/corrupt frame,
 // returning the byte offset just past the last complete record.
-func scanWAL(f *os.File, gen uint64) ([]WALRecord, int64, error) {
+func scanWAL(f FSFile, gen uint64) ([]WALRecord, int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, fmt.Errorf("store: %w", err)
 	}
@@ -199,7 +253,9 @@ func decodeWALRecord(payload []byte) (WALRecord, error) {
 		rec.Name = br.str("set name")
 		n := br.count("set element")
 		rec.Elements = make([]string, 0, min(n, 1<<20))
-		for i := 0; i < n; i++ {
+		// Bail on the sticky error: the frame's CRC already passed, but a
+		// count near maxBinCount in a hostile payload must not loop forever.
+		for i := 0; i < n && br.err == nil; i++ {
 			rec.Elements = append(rec.Elements, br.str("set element"))
 		}
 	case WALDelete:

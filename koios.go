@@ -333,6 +333,31 @@ func (e *Engine) Segments() (sealed, memtable, tombstones int) {
 	return e.mgr.Segments()
 }
 
+// Health is the engine's resilience state: whether recovery had to
+// quarantine damaged files (degraded mode) and which files it set aside.
+type Health = segment.Health
+
+// QuarantinedFile records one damaged file recovery moved to quarantine/.
+type QuarantinedFile = segment.QuarantinedFile
+
+// ScrubReport summarizes a checksum re-verification pass over a durable
+// engine's live files.
+type ScrubReport = segment.ScrubReport
+
+// Health reports whether the engine is degraded — recovery quarantined
+// corrupt files and the collection serves the survivors — and what was
+// quarantined. In-memory engines are never degraded.
+func (e *Engine) Health() Health { return e.mgr.Health() }
+
+// Scrub re-verifies the checksums of every live on-disk file (dictionary,
+// segment snapshots, active WAL) without modifying anything.
+func (e *Engine) Scrub() ScrubReport { return e.mgr.Scrub() }
+
+// Repair re-persists anything Scrub finds damaged from the intact
+// in-memory state (fresh checkpoint, new manifest, bad copies swept) and
+// clears degraded mode on success.
+func (e *Engine) Repair() (ScrubReport, error) { return e.mgr.Repair() }
+
 // Source selects a similarity index implementation for NewWithSource.
 type Source struct {
 	build func(vocab []string) index.NeighborSource
