@@ -41,6 +41,11 @@ type Config struct {
 	// the reproducibility seed (default 1).
 	ChaosIters int
 	ChaosSeed  int64
+	// NoKernelFilters turns off the kernel speed layer (DESIGN.md §12): the
+	// scan admission filters on function sources and the verification
+	// sandwich. Results are byte-identical; the escape hatch exists for A/B
+	// measurement and as a safety valve.
+	NoKernelFilters bool
 }
 
 func (c Config) withDefaults() Config {
@@ -186,10 +191,11 @@ func (r *Runner) bundleFor(kind datagen.Kind) *bundle {
 // optionally overridden.
 func (r *Runner) engineFor(b *bundle, override func(*core.Options)) *core.Engine {
 	opts := core.Options{
-		K:          r.cfg.K,
-		Alpha:      r.cfg.Alpha,
-		Partitions: r.cfg.Partitions,
-		Workers:    r.cfg.Workers,
+		K:               r.cfg.K,
+		Alpha:           r.cfg.Alpha,
+		Partitions:      r.cfg.Partitions,
+		Workers:         r.cfg.Workers,
+		DisableSandwich: r.cfg.NoKernelFilters,
 	}
 	if override != nil {
 		override(&opts)

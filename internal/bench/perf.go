@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/sim"
 )
 
 // PerfEntry is one dataset kind's measured single-query profile: wall time
@@ -34,6 +35,14 @@ type PerfEntry struct {
 	EagerStreamTuples int   `json:"eager_stream_tuples"`
 	FootprintBytes    int64 `json:"query_footprint_bytes"`
 	IndexBytes        int64 `json:"inverted_index_bytes"`
+	// KernelNs is the batched edit-similarity kernel's cost per vocabulary
+	// pair on this dataset's vocabulary, and HungarianSkippedFrac the
+	// fraction of exact verifications across the full benchmark query set
+	// that the verification sandwich decided without the O(n³) solver
+	// (DESIGN.md §12). Both are informational — ComparePerf does not gate on
+	// them.
+	KernelNs             int64   `json:"kernel_ns"`
+	HungarianSkippedFrac float64 `json:"hungarian_skipped_frac"`
 }
 
 // StreamSavings is one dataset kind's lazy-stream outcome over the FULL
@@ -101,7 +110,17 @@ func (r *Runner) Perf(label string) PerfBaseline {
 		if st.Candidates > 0 {
 			frac = float64(st.IUBPruned) / float64(st.Candidates)
 		}
-		pb.Queries = append(pb.Queries, PerfEntry{
+		vocab := b.ds.Repo.Vocabulary()
+		kernelRes := testing.Benchmark(func(tb *testing.B) {
+			k := sim.NewKernel(sim.EditSimilarity{}, vocab[0])
+			out := make([]float64, len(vocab))
+			tb.ResetTimer()
+			for i := 0; i < tb.N; i++ {
+				k.SimBatch(vocab, out)
+			}
+		})
+		kernelNs := kernelRes.NsPerOp() / int64(len(vocab))
+		entry := PerfEntry{
 			Kind:              string(kind),
 			NsPerOp:           res.NsPerOp(),
 			BytesPerOp:        res.AllocedBytesPerOp(),
@@ -115,8 +134,10 @@ func (r *Runner) Perf(label string) PerfBaseline {
 			EagerStreamTuples: est.StreamTuples,
 			FootprintBytes:    st.TotalBytes(),
 			IndexBytes:        b.inv.FootprintBytes(),
-		})
+			KernelNs:          kernelNs,
+		}
 		sv := StreamSavings{Kind: string(kind), Queries: len(b.bench.Queries)}
+		verifyCalls, skipped := 0, 0
 		for _, bq := range b.bench.Queries {
 			_, lst := eng.Search(bq.Elements)
 			_, bst := eager.Search(bq.Elements)
@@ -125,11 +146,18 @@ func (r *Runner) Perf(label string) PerfBaseline {
 			}
 			sv.LazyTuples += lst.StreamTuples
 			sv.EagerTuples += bst.StreamTuples
+			verifyCalls += lst.VerifyCalls + bst.VerifyCalls
+			skipped += lst.HungarianSkipped + bst.HungarianSkipped
 		}
+		if verifyCalls > 0 {
+			entry.HungarianSkippedFrac = float64(skipped) / float64(verifyCalls)
+		}
+		pb.Queries = append(pb.Queries, entry)
 		pb.Streams = append(pb.Streams, sv)
-		r.printf("perf %-10s %12d ns/op %12d B/op %8d allocs/op  stream %d/%d tuples (%d/%d queries cut)\n",
+		r.printf("perf %-10s %12d ns/op %12d B/op %8d allocs/op  stream %d/%d tuples (%d/%d queries cut)  kernel %d ns/pair  hung-skip %.0f%%\n",
 			kind, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp(),
-			sv.LazyTuples, sv.EagerTuples, sv.CutQueries, sv.Queries)
+			sv.LazyTuples, sv.EagerTuples, sv.CutQueries, sv.Queries,
+			entry.KernelNs, 100*entry.HungarianSkippedFrac)
 	}
 	return pb
 }

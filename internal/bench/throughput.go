@@ -140,12 +140,17 @@ func (r *Runner) Throughput() error {
 // similarity) instead of the vector index.
 func (r *Runner) managerFuncFor(b *bundle, cacheSize int) *segment.Manager {
 	return segment.NewManager(b.ds.Repo.Sets(), func(dict *sets.Dictionary) index.NeighborSource {
-		return index.NewDynamicFunc(dict, sim.EditSimilarity{})
+		src := index.NewDynamicFunc(dict, sim.EditSimilarity{})
+		if r.cfg.NoKernelFilters {
+			src.SetKernelFilters(false)
+		}
+		return src
 	}, core.Options{
-		K:          r.cfg.K,
-		Alpha:      r.cfg.Alpha,
-		Partitions: 1,
-		Workers:    1,
+		K:               r.cfg.K,
+		Alpha:           r.cfg.Alpha,
+		Partitions:      1,
+		Workers:         1,
+		DisableSandwich: r.cfg.NoKernelFilters,
 	}.WithDefaults(), segment.Config{ForegroundCompaction: true, SimCacheSize: cacheSize})
 }
 

@@ -326,6 +326,10 @@ func (g *Group) SearchContext(ctx context.Context, query []string) ([]GroupResul
 			eng, _, local := g.locate(r.SetID, base)
 			res := eng.verify(len(query), cache, eng.repo.Set(local), theta)
 			stats.HungarianIterations += res.Iterations
+			stats.VerifyCalls++
+			if res.Skipped {
+				stats.HungarianSkipped++
+			}
 			stats.FinalizeEM++
 			results[i].Score = res.Score
 			results[i].Verified = true

@@ -395,6 +395,36 @@ func (e *oracleEngine) verify(query []string, cache map[string][]oracleEdge, c s
 		}
 		return matching.SparseMatch(adj, len(cols))
 	}
+	var bound func() float64
+	if theta != nil && !e.opts.DisableEarlyTerm {
+		bound = theta.Load
+	}
+	// Mirror of the engine's verification sandwich (verify.go): same maxima,
+	// same prune and shortcut decisions, so EMEarly/EMFull accounting stays
+	// comparable bit for bit.
+	var rowMax, colMax []float64
+	if !e.opts.DisableSandwich {
+		rowMax = make([]float64, len(rows))
+		colMax = make([]float64, len(cols))
+		colRows := make([][]int32, len(cols))
+		for j, ce := range cols {
+			adj := make([]int32, len(ce.edges))
+			for k, ed := range ce.edges {
+				r := rowOf[ed.qIdx]
+				adj[k] = int32(r)
+				if ed.sim > rowMax[r] {
+					rowMax[r] = ed.sim
+				}
+				if ed.sim > colMax[j] {
+					colMax[j] = ed.sim
+				}
+			}
+			colRows[j] = adj
+		}
+		if matching.SandwichPrune(rowMax, colMax, colRows, bound) {
+			return matching.Result{Pruned: true, Skipped: true}
+		}
+	}
 	w := make([][]float64, len(rows))
 	for i := range w {
 		w[i] = make([]float64, len(cols))
@@ -404,9 +434,10 @@ func (e *oracleEngine) verify(query []string, cache map[string][]oracleEdge, c s
 			w[rowOf[ed.qIdx]][j] = ed.sim
 		}
 	}
-	var bound func() float64
-	if theta != nil && !e.opts.DisableEarlyTerm {
-		bound = theta.Load
+	if !e.opts.DisableSandwich {
+		if res, ok := matching.TightMatch(w, rowMax); ok {
+			return res
+		}
 	}
 	return matching.HungarianBounded(w, bound)
 }

@@ -78,6 +78,10 @@ func (g *Group) postproc(ctx context.Context, qN int, cache *edgeCache, survivor
 
 	apply := func(sid int, res matching.Result) {
 		stats.HungarianIterations += res.Iterations
+		stats.VerifyCalls++
+		if res.Skipped {
+			stats.HungarianSkipped++
+		}
 		if res.Pruned {
 			// Label sum fell below θlb: SO(sid) < θlb ≤ θ*k (Lemma 8).
 			stats.EMEarly++

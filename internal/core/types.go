@@ -64,6 +64,12 @@ type Options struct {
 	// Default 256. Tests randomize it to force cuts at arbitrary stream
 	// prefixes.
 	LazyBlock int
+	// DisableSandwich turns off the verification sandwich (DESIGN.md §12):
+	// the row/column-maximum UB prune and the tight-matching shortcut that
+	// decide many candidates without running the O(n³) Hungarian solver.
+	// Results are byte-identical either way; the knob is the A/B axis for
+	// benchmarks and equivalence tests.
+	DisableSandwich bool
 }
 
 // Verifier names an exact maximum-matching algorithm.
@@ -166,6 +172,12 @@ type Stats struct {
 	StreamCutLevel float64
 	// HungarianIterations sums augmentation phases across all matchings.
 	HungarianIterations int
+	// VerifyCalls counts exact-verification calls (post-processing plus
+	// finalization), and HungarianSkipped how many of them the verification
+	// sandwich decided without running the O(n³) solver (DESIGN.md §12).
+	// Their ratio is the hungarian_skipped_frac of the perf harness.
+	VerifyCalls      int
+	HungarianSkipped int
 	// Segments is the number of repository segments the search snapshot
 	// spanned (1 for a plain single-engine search). Set once per search,
 	// not aggregated.
@@ -201,6 +213,8 @@ func (s *Stats) add(o *Stats) {
 	s.StreamTuples += o.StreamTuples
 	s.StreamRetrieved += o.StreamRetrieved
 	s.HungarianIterations += o.HungarianIterations
+	s.VerifyCalls += o.VerifyCalls
+	s.HungarianSkipped += o.HungarianSkipped
 	s.MemStreamBytes += o.MemStreamBytes
 	s.MemCandBytes += o.MemCandBytes
 	s.MemPostprocBytes += o.MemPostprocBytes

@@ -58,6 +58,44 @@ func (e *Engine) verify(qN int, cache *edgeCache, c sets.Set, theta *atomicMax) 
 		}
 		return matching.SparseMatch(adj, len(cols))
 	}
+	var bound func() float64
+	if theta != nil && !e.opts.DisableEarlyTerm {
+		bound = theta.Load
+	}
+	// Verification sandwich (DESIGN.md §12): row/column maxima, read straight
+	// off the edge lists, bracket the Hungarian optimum from above. Σ rowMax
+	// is bit-identical to the solver's initial label sum, so the UB prune is
+	// a superset of its entry check; a tight row-perfect matching replays the
+	// solver's exact result. Both pre-solvers are conclusive-or-silent —
+	// results are byte-identical with the sandwich disabled.
+	var rowMax, colMax []float64
+	if !e.opts.DisableSandwich {
+		rowMax = make([]float64, rows)
+		colMax = make([]float64, len(cols))
+		colRows := make([][]int32, len(cols))
+		nEdges := 0
+		for _, edges := range cols {
+			nEdges += len(edges)
+		}
+		flatAdj := make([]int32, 0, nEdges)
+		for j, edges := range cols {
+			base := len(flatAdj)
+			for _, ed := range edges {
+				r := rowOf[ed.qIdx] - 1
+				flatAdj = append(flatAdj, r)
+				if ed.sim > rowMax[r] {
+					rowMax[r] = ed.sim
+				}
+				if ed.sim > colMax[j] {
+					colMax[j] = ed.sim
+				}
+			}
+			colRows[j] = flatAdj[base:]
+		}
+		if matching.SandwichPrune(rowMax, colMax, colRows, bound) {
+			return matching.Result{Pruned: true, Skipped: true}
+		}
+	}
 	// One flat backing array for the similarity matrix: rows+1 allocations
 	// become two.
 	flat := make([]float64, rows*len(cols))
@@ -70,9 +108,10 @@ func (e *Engine) verify(qN int, cache *edgeCache, c sets.Set, theta *atomicMax) 
 			w[rowOf[ed.qIdx]-1][j] = ed.sim
 		}
 	}
-	var bound func() float64
-	if theta != nil && !e.opts.DisableEarlyTerm {
-		bound = theta.Load
+	if !e.opts.DisableSandwich {
+		if res, ok := matching.TightMatch(w, rowMax); ok {
+			return res
+		}
 	}
 	return matching.HungarianBounded(w, bound)
 }

@@ -42,9 +42,10 @@ type QueryVocabBound interface {
 // tokens are retrievable immediately; neighbor IDs are global dictionary
 // IDs. Safe for concurrent use.
 type DynamicFunc struct {
-	dict  *sets.Dictionary
-	fn    sim.Func
-	cache *sim.PairCache
+	dict      *sets.Dictionary
+	fn        sim.Func
+	cache     *sim.PairCache
+	noFilters bool
 }
 
 // NewDynamicFunc builds a dynamic threshold-scan source over dict.
@@ -60,9 +61,16 @@ func (f *DynamicFunc) SetSimCache(c *sim.PairCache) { f.cache = c }
 // scored edge completion (DESIGN.md §10) is only worthwhile when it is.
 func (f *DynamicFunc) SimCacheAttached() bool { return f.cache != nil }
 
+// SetKernelFilters toggles the admission filters of the kernel scan path
+// (on by default). Off retains the batched kernel but evaluates every pair —
+// the A/B axis behind koios-bench -no-kernel-filters.
+func (f *DynamicFunc) SetKernelFilters(on bool) { f.noFilters = !on }
+
 // scan appends every dictionary token (except the query itself) with
 // similarity ≥ alpha to buf, unsorted, memoizing through the pair cache
-// when one is attached.
+// when one is attached. Functions exposing a prepared kernel run the batched
+// kernel scan: the admission bound is consulted before the cache, so pairs
+// provably below α are neither evaluated nor ever admitted to the cache.
 func (f *DynamicFunc) scan(q string, alpha float64, buf []Neighbor) []Neighbor {
 	cache := f.cache
 	qid := int32(-1)
@@ -70,7 +78,31 @@ func (f *DynamicFunc) scan(q string, alpha float64, buf []Neighbor) []Neighbor {
 		qid = f.dict.Lookup(q)
 	}
 	var hits, misses int64
-	for vi, tok := range f.dict.Snapshot() {
+	snapshot := f.dict.Snapshot()
+	if k := sim.NewKernel(f.fn, q); k != nil {
+		var cached func(vi int) (float64, bool)
+		var computed func(id int32, s float64)
+		if cache != nil && qid >= 0 {
+			cached = func(vi int) (float64, bool) {
+				s, ok := cache.Lookup(qid, int32(vi))
+				if ok {
+					hits++
+				}
+				return s, ok
+			}
+			computed = func(id int32, s float64) {
+				misses++
+				cache.Put(qid, id, s)
+			}
+		}
+		buf = kernelScan(k, snapshot, q, alpha, f.noFilters,
+			func(vi int) int32 { return int32(vi) }, cached, computed, buf)
+		if cache != nil && qid >= 0 {
+			cache.AddLookups(hits, misses)
+		}
+		return buf
+	}
+	for vi, tok := range snapshot {
 		if tok == q {
 			continue
 		}

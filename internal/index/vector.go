@@ -264,9 +264,15 @@ func (ix *IVF) Neighbors(q string, alpha float64) []Neighbor {
 
 // FuncIndex is a brute-force NeighborSource for an arbitrary similarity
 // function — the fallback that keeps Koios independent of the choice of sim.
+// Functions exposing a prepared kernel (sim.Batcher) are scanned through it:
+// the query's precomputed state stays hot across the vocabulary, admission
+// bounds skip pairs provably below α, and blocks of survivors are evaluated
+// per batch. Both are pure accelerations — results are byte-identical to the
+// plain per-pair scan (DESIGN.md §12).
 type FuncIndex struct {
-	vocab []string
-	fn    sim.Func
+	vocab     []string
+	fn        sim.Func
+	noFilters bool
 }
 
 // NewFuncIndex indexes vocab under fn.
@@ -274,9 +280,77 @@ func NewFuncIndex(vocab []string, fn sim.Func) *FuncIndex {
 	return &FuncIndex{vocab: vocab, fn: fn}
 }
 
+// SetKernelFilters toggles the admission filters of the kernel scan path
+// (on by default). Off retains the batched kernel but evaluates every pair —
+// the A/B axis behind koios-bench -no-kernel-filters.
+func (f *FuncIndex) SetKernelFilters(on bool) { f.noFilters = !on }
+
+// kernelBlock is the batch granularity of the kernel scan paths: enough to
+// amortize the per-block interface call, small enough that the candidate
+// block stays in cache.
+const kernelBlock = 128
+
+// kernelScan is the shared batched scan loop: tokens surviving the admission
+// bound (when filters are on) are collected into blocks and evaluated per
+// SimBatch call. Cache hits and filtered tokens are decided per token by the
+// two callbacks; emit receives every computed (token, id, sim) in block
+// order, after which buf holds exactly the α-matches of the plain scan.
+func kernelScan(
+	k sim.Kernel, tokens []string, q string, alpha float64, noFilters bool,
+	idOf func(vi int) int32,
+	cached func(vi int) (float64, bool),
+	computed func(vi int32, s float64),
+	buf []Neighbor,
+) []Neighbor {
+	var cands [kernelBlock]string
+	var ids [kernelBlock]int32
+	var sims [kernelBlock]float64
+	n := 0
+	flush := func() {
+		k.SimBatch(cands[:n], sims[:n])
+		for i := 0; i < n; i++ {
+			if computed != nil {
+				computed(ids[i], sims[i])
+			}
+			if sims[i] >= alpha {
+				buf = append(buf, Neighbor{Token: cands[i], Sim: sims[i], ID: ids[i]})
+			}
+		}
+		n = 0
+	}
+	for vi, tok := range tokens {
+		if tok == q {
+			continue
+		}
+		if !noFilters && k.Bound(tok) < alpha {
+			continue // provably < α: never evaluated, never cached
+		}
+		id := idOf(vi)
+		if cached != nil {
+			if s, ok := cached(vi); ok {
+				if s >= alpha {
+					buf = append(buf, Neighbor{Token: tok, Sim: s, ID: id})
+				}
+				continue
+			}
+		}
+		cands[n], ids[n] = tok, id
+		n++
+		if n == kernelBlock {
+			flush()
+		}
+	}
+	flush()
+	return buf
+}
+
 // scan appends every vocabulary token (except the query itself) with
 // similarity ≥ alpha to buf, unsorted.
 func (f *FuncIndex) scan(q string, alpha float64, buf []Neighbor) []Neighbor {
+	if k := sim.NewKernel(f.fn, q); k != nil {
+		return kernelScan(k, f.vocab, q, alpha, f.noFilters,
+			func(vi int) int32 { return int32(vi) }, nil, nil, buf)
+	}
 	for vi, tok := range f.vocab {
 		if tok == q {
 			continue

@@ -28,6 +28,11 @@ type Result struct {
 	// Iterations counts augmentation phases, exposed for the bench harness
 	// to quantify how much work early termination saves.
 	Iterations int
+	// Skipped reports that the result was produced by the pre-solver
+	// sandwich (SandwichPrune / TightMatch) without running the O(n³)
+	// solver. The values carried are identical to what the solver would
+	// have returned.
+	Skipped bool
 }
 
 // Hungarian computes a maximum-weight optional matching of the dense weight

@@ -1,0 +1,398 @@
+package sim
+
+import "strings"
+
+// This file defines the optional kernel capabilities of a similarity
+// function: O(1)-ish admission bounds that certify Sim(a,b) < α without
+// evaluating the kernel, and prepared per-query kernels that keep the query
+// side's precomputed state (Myers Peq table, q-gram profile, word set) hot
+// across a whole scan. Both are pure accelerations — a bound is always ≥ the
+// true similarity and a kernel returns exactly Func.Sim — so consulting them
+// never changes a result byte (DESIGN.md §12).
+
+// Bounded is an optional Func capability: a cheap upper bound on Sim.
+// Callers may skip any pair whose bound is below their threshold — the
+// bound's soundness (SimBound(a,b) ≥ Sim(a,b)) makes the skip exact.
+type Bounded interface {
+	Func
+	// SimBound returns an upper bound on Sim(a, b), computable without
+	// running the similarity kernel.
+	SimBound(a, b string) float64
+}
+
+// Kernel is a prepared evaluator for one fixed query element: Sim and
+// SimBatch return exactly what Func.Sim(q, cand) would, Bound is a sound
+// upper bound on it. A Kernel is not safe for concurrent use (it owns
+// per-query scratch); prepare one per goroutine.
+type Kernel interface {
+	// Sim returns exactly Func.Sim(q, cand).
+	Sim(cand string) float64
+	// Bound returns an upper bound on Func.Sim(q, cand).
+	Bound(cand string) float64
+	// SimBatch sets out[i] = Sim(cands[i]) for every candidate; len(out)
+	// must be at least len(cands). One interface call evaluates a whole
+	// postings block with the query's prepared state hot.
+	SimBatch(cands []string, out []float64)
+}
+
+// Batcher is an optional Func capability: prepared per-query kernels.
+type Batcher interface {
+	Func
+	// NewKernel prepares a kernel for query element q, or returns nil when
+	// the function cannot accelerate it (callers fall back to plain Sim).
+	NewKernel(q string) Kernel
+}
+
+// NewKernel prepares a kernel for fn and query element q, or returns nil
+// when fn offers none.
+func NewKernel(fn Func, q string) Kernel {
+	if b, ok := fn.(Batcher); ok {
+		return b.NewKernel(q)
+	}
+	return nil
+}
+
+// --- EditSimilarity ---------------------------------------------------------
+
+// SimBound implements Bounded: lev(a,b) ≥ ||a|−|b||, so
+// 1 − ||a|−|b||/max(|a|,|b|) bounds the normalized similarity from above.
+// (Float rounding preserves the order: both expressions round a division by
+// the same max, and x ↦ 1−x is monotone.)
+func (EditSimilarity) SimBound(a, b string) float64 {
+	la, lb := len(a), len(b)
+	if la == lb {
+		return 1
+	}
+	d, m := la-lb, la
+	if lb > la {
+		d, m = lb-la, lb
+	}
+	return 1 - float64(d)/float64(m)
+}
+
+// NewKernel implements Batcher: the kernel builds q's Myers match masks once
+// and reuses them for every candidate.
+func (EditSimilarity) NewKernel(q string) Kernel {
+	k := &editKernel{q: q}
+	if len(q) > 0 && len(q) <= myersWordBits {
+		for i := 0; i < len(q); i++ {
+			k.peq[q[i]] |= 1 << uint(i)
+		}
+	} else if len(q) > myersWordBits {
+		k.words = (len(q) + myersWordBits - 1) / myersWordBits
+		k.blockPeq = buildBlockPeq(q, k.words)
+		k.pv = make([]uint64, k.words)
+		k.mv = make([]uint64, k.words)
+	}
+	return k
+}
+
+type editKernel struct {
+	q        string
+	peq      [256]uint64 // single-word masks, valid when 0 < len(q) ≤ 64
+	words    int         // block count when len(q) > 64
+	blockPeq []uint64
+	pv, mv   []uint64 // block scratch, reused across candidates
+}
+
+func (k *editKernel) Sim(cand string) float64 {
+	if cand == k.q {
+		return 1
+	}
+	la, lb := len(k.q), len(cand)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	var d int
+	if la <= myersWordBits {
+		d = myersShort(&k.peq, la, cand)
+	} else {
+		d = myersBlocks(k.blockPeq, la, k.words, cand, k.pv, k.mv)
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(d)/float64(m)
+}
+
+func (k *editKernel) Bound(cand string) float64 {
+	return EditSimilarity{}.SimBound(k.q, cand)
+}
+
+func (k *editKernel) SimBatch(cands []string, out []float64) {
+	for i, c := range cands {
+		out[i] = k.Sim(c)
+	}
+}
+
+// --- JaccardQGrams ----------------------------------------------------------
+
+// SimBound implements Bounded: with A the query's distinct q-grams and t_b
+// the candidate's gram-position count, |A∩B| ≤ min(|A|, t_b) and
+// |A∪B| ≥ |A|, so J ≤ min(1, t_b/|A|). Length bounds alone are NOT sound
+// for q-gram Jaccard (repeated grams: J("aaaa","aaaaaa") = 1 at any length
+// ratio), which is why the bound needs the query-side distinct count.
+func (j JaccardQGrams) SimBound(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	q := j.q()
+	nA := distinctGramCount(a, q)
+	tB := gramPositions(b, q)
+	if nA == 0 {
+		return 0 // Sim(a≠b) with an empty gram set is 0
+	}
+	if tB >= nA {
+		return 1
+	}
+	return float64(tB) / float64(nA)
+}
+
+// gramPositions is the number of gram positions of s — an upper bound on its
+// distinct gram count, costing O(1).
+func gramPositions(s string, q int) int {
+	if len(s) <= q {
+		if s == "" {
+			return 0
+		}
+		return 1
+	}
+	return len(s) - q + 1
+}
+
+func distinctGramCount(s string, q int) int {
+	if len(s) <= q {
+		if s == "" {
+			return 0
+		}
+		return 1
+	}
+	seen := make(map[string]bool, len(s))
+	n := 0
+	for i := 0; i+q <= len(s); i++ {
+		g := s[i : i+q]
+		if !seen[g] {
+			seen[g] = true
+			n++
+		}
+	}
+	return n
+}
+
+// NewKernel implements Batcher: the kernel interns q's distinct gram set
+// once; each candidate is then a single dedup-and-count pass against it.
+func (j JaccardQGrams) NewKernel(q string) Kernel {
+	k := &qgramKernel{q: q, g: j.q(), scratch: make(map[string]bool)}
+	k.grams = make(map[string]bool)
+	for _, g := range QGrams(q, k.g) {
+		k.grams[g] = true
+	}
+	return k
+}
+
+type qgramKernel struct {
+	q       string
+	g       int
+	grams   map[string]bool // distinct grams of q
+	scratch map[string]bool // candidate dedup set, cleared per call
+}
+
+func (k *qgramKernel) Sim(cand string) float64 {
+	if cand == k.q {
+		return 1
+	}
+	// Byte-identical to jaccard(QGrams(q), QGrams(cand)): the same distinct
+	// intersection/union integers feed the same single division.
+	inter, distinctB := 0, 0
+	if len(cand) <= k.g {
+		if cand != "" {
+			distinctB = 1
+			if k.grams[cand] {
+				inter = 1
+			}
+		}
+	} else {
+		clear(k.scratch)
+		for i := 0; i+k.g <= len(cand); i++ {
+			g := cand[i : i+k.g]
+			if k.scratch[g] {
+				continue
+			}
+			k.scratch[g] = true
+			distinctB++
+			if k.grams[g] {
+				inter++
+			}
+		}
+	}
+	union := len(k.grams) + distinctB - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func (k *qgramKernel) Bound(cand string) float64 {
+	if cand == k.q {
+		return 1
+	}
+	nA := len(k.grams)
+	if nA == 0 {
+		return 0
+	}
+	tB := gramPositions(cand, k.g)
+	if tB >= nA {
+		return 1
+	}
+	return float64(tB) / float64(nA)
+}
+
+func (k *qgramKernel) SimBatch(cands []string, out []float64) {
+	for i, c := range cands {
+		out[i] = k.Sim(c)
+	}
+}
+
+// --- JaccardWords -----------------------------------------------------------
+
+// SimBound implements Bounded: the word-set analogue of the q-gram bound,
+// with the candidate's field count as t_b.
+func (JaccardWords) SimBound(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	nA := distinctWordCount(a)
+	if nA == 0 {
+		return 0
+	}
+	tB := fieldCount(b)
+	if tB >= nA {
+		return 1
+	}
+	return float64(tB) / float64(nA)
+}
+
+// fieldCount counts white-space separated fields without allocating — an
+// upper bound on the distinct word count.
+func fieldCount(s string) int {
+	n := 0
+	for range strings.FieldsSeq(s) {
+		n++
+	}
+	return n
+}
+
+func distinctWordCount(s string) int {
+	seen := make(map[string]bool)
+	for w := range strings.FieldsSeq(s) {
+		seen[w] = true
+	}
+	return len(seen)
+}
+
+// NewKernel implements Batcher.
+func (JaccardWords) NewKernel(q string) Kernel {
+	k := &wordsKernel{q: q, words: make(map[string]bool), scratch: make(map[string]bool)}
+	for w := range strings.FieldsSeq(q) {
+		k.words[w] = true
+	}
+	return k
+}
+
+type wordsKernel struct {
+	q       string
+	words   map[string]bool // distinct words of q
+	scratch map[string]bool // candidate dedup set, cleared per call
+}
+
+func (k *wordsKernel) Sim(cand string) float64 {
+	if cand == k.q {
+		return 1
+	}
+	// Byte-identical to jaccard(Fields(q), Fields(cand)).
+	inter, distinctB := 0, 0
+	clear(k.scratch)
+	for w := range strings.FieldsSeq(cand) {
+		if k.scratch[w] {
+			continue
+		}
+		k.scratch[w] = true
+		distinctB++
+		if k.words[w] {
+			inter++
+		}
+	}
+	union := len(k.words) + distinctB - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func (k *wordsKernel) Bound(cand string) float64 {
+	if cand == k.q {
+		return 1
+	}
+	nA := len(k.words)
+	if nA == 0 {
+		return 0
+	}
+	tB := fieldCount(cand)
+	if tB >= nA {
+		return 1
+	}
+	return float64(tB) / float64(nA)
+}
+
+func (k *wordsKernel) SimBatch(cands []string, out []float64) {
+	for i, c := range cands {
+		out[i] = k.Sim(c)
+	}
+}
+
+// --- Thresholded ------------------------------------------------------------
+
+// SimBound implements Bounded by delegating to the wrapped function: the
+// α-collapsed similarity never exceeds the raw one. Without a bounded inner
+// function the bound is the trivial 1.
+func (t Thresholded) SimBound(a, b string) float64 {
+	if bb, ok := t.Fn.(Bounded); ok {
+		return bb.SimBound(a, b)
+	}
+	return 1
+}
+
+// NewKernel implements Batcher: the inner function's kernel with the α
+// collapse applied on top, or nil when the inner function offers none.
+func (t Thresholded) NewKernel(q string) Kernel {
+	inner := NewKernel(t.Fn, q)
+	if inner == nil {
+		return nil
+	}
+	return &thresholdedKernel{inner: inner, alpha: t.Alpha}
+}
+
+type thresholdedKernel struct {
+	inner Kernel
+	alpha float64
+}
+
+func (k *thresholdedKernel) Sim(cand string) float64 {
+	s := k.inner.Sim(cand)
+	if s < k.alpha {
+		return 0
+	}
+	return s
+}
+
+func (k *thresholdedKernel) Bound(cand string) float64 { return k.inner.Bound(cand) }
+
+func (k *thresholdedKernel) SimBatch(cands []string, out []float64) {
+	k.inner.SimBatch(cands, out)
+	for i := range cands {
+		if out[i] < k.alpha {
+			out[i] = 0
+		}
+	}
+}

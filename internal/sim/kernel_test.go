@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// levenshteinDP is the two-row byte DP the bit-parallel kernel replaced,
+// kept as the reference oracle for the equivalence properties below.
+func levenshteinDP(a, b string) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// randomUnicode draws strings mixing ASCII, multi-byte runes, and combining
+// marks, with lengths crossing the 64-byte single-word/block boundary.
+func randomUnicode(rng *rand.Rand, maxRunes int) string {
+	runes := []rune("abcdexyz 0123456789éüßλδπ漢字́̈é\U0001F600")
+	n := rng.Intn(maxRunes + 1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteRune(runes[rng.Intn(len(runes))])
+	}
+	return sb.String()
+}
+
+// TestMyersMatchesDP is the Myers ≡ DP property on randomized Unicode
+// strings, covering the single-word fast path, the >64-byte block fallback,
+// empty strings, and combining runes.
+func TestMyersMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 3000; trial++ {
+		maxRunes := 12
+		if trial%3 == 0 {
+			maxRunes = 90 // force multi-block patterns (bytes > 64)
+		}
+		a, b := randomUnicode(rng, maxRunes), randomUnicode(rng, maxRunes)
+		if got, want := levenshtein(a, b), levenshteinDP(a, b); got != want {
+			t.Fatalf("levenshtein(%q,%q) = %d, DP reference = %d", a, b, got, want)
+		}
+	}
+	// Fixed boundary shapes.
+	long := strings.Repeat("ab", 64) // 128 bytes: two blocks
+	cases := [][2]string{
+		{"", ""}, {"", long}, {long, long[:65]}, {long, "b" + long},
+		{strings.Repeat("x", 64), strings.Repeat("x", 64) + "y"},
+		{strings.Repeat("q", 65), strings.Repeat("q", 129)},
+		{"é", "é"}, // combining acute vs precomposed é: distinct bytes
+	}
+	for _, c := range cases {
+		if got, want := levenshtein(c[0], c[1]), levenshteinDP(c[0], c[1]); got != want {
+			t.Fatalf("levenshtein(%.20q,%.20q) = %d, DP reference = %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+// FuzzEditKernel cross-checks the bit-parallel distance against the DP
+// reference and the prepared kernel against the plain function on arbitrary
+// byte strings.
+func FuzzEditKernel(f *testing.F) {
+	f.Add("", "")
+	f.Add("kitten", "sitting")
+	f.Add("éé", "é")
+	f.Add(strings.Repeat("ab", 40), strings.Repeat("ba", 41))
+	f.Add(strings.Repeat("x", 200), strings.Repeat("xy", 100))
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 512 || len(b) > 512 {
+			return
+		}
+		if got, want := levenshtein(a, b), levenshteinDP(a, b); got != want {
+			t.Fatalf("levenshtein(%q,%q) = %d, DP reference = %d", a, b, got, want)
+		}
+		var fn EditSimilarity
+		k := fn.NewKernel(a)
+		if got, want := k.Sim(b), fn.Sim(a, b); got != want {
+			t.Fatalf("kernel Sim(%q,%q) = %v, Func.Sim = %v", a, b, got, want)
+		}
+		if bound := k.Bound(b); bound < fn.Sim(a, b) {
+			t.Fatalf("bound %v below true sim %v for (%q,%q)", bound, fn.Sim(a, b), a, b)
+		}
+	})
+}
+
+// TestKernelsMatchFunc: for every Batcher function, the prepared kernel's
+// Sim and SimBatch return exactly Func.Sim, and Bound/SimBound dominate it.
+func TestKernelsMatchFunc(t *testing.T) {
+	funcs := []Func{
+		EditSimilarity{},
+		JaccardQGrams{Q: 3},
+		JaccardQGrams{Q: 2},
+		JaccardWords{},
+		Thresholded{Fn: EditSimilarity{}, Alpha: 0.6},
+		Thresholded{Fn: JaccardQGrams{}, Alpha: 0.5},
+	}
+	rng := rand.New(rand.NewSource(72))
+	for _, fn := range funcs {
+		b, bounded := fn.(Bounded)
+		cands := make([]string, 64)
+		out := make([]float64, len(cands))
+		for trial := 0; trial < 40; trial++ {
+			maxRunes := 10
+			if trial%4 == 0 {
+				maxRunes = 80
+			}
+			q := randomUnicode(rng, maxRunes)
+			k := NewKernel(fn, q)
+			if k == nil {
+				t.Fatalf("%s: no kernel", fn.Name())
+			}
+			for i := range cands {
+				cands[i] = randomUnicode(rng, maxRunes)
+			}
+			k.SimBatch(cands, out)
+			for i, c := range cands {
+				want := fn.Sim(q, c)
+				if got := k.Sim(c); got != want {
+					t.Fatalf("%s kernel Sim(%q,%q) = %v, want %v", fn.Name(), q, c, got, want)
+				}
+				if out[i] != want {
+					t.Fatalf("%s SimBatch[%d] (%q,%q) = %v, want %v", fn.Name(), i, q, c, out[i], want)
+				}
+				if bd := k.Bound(c); bd < want {
+					t.Fatalf("%s kernel bound %v < sim %v on (%q,%q)", fn.Name(), bd, want, q, c)
+				}
+				if bounded {
+					if bd := b.SimBound(q, c); bd < want {
+						t.Fatalf("%s SimBound %v < sim %v on (%q,%q)", fn.Name(), bd, want, q, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFilterSoundness is the admission-filter property the scan paths rely
+// on: whenever Bound(cand) < α the true similarity is < α too, so skipping
+// the pair cannot change any α-edge.
+func TestFilterSoundness(t *testing.T) {
+	funcs := []Func{EditSimilarity{}, JaccardQGrams{Q: 3}, JaccardWords{}}
+	alphas := []float64{0.3, 0.5, 0.8, 0.95}
+	rng := rand.New(rand.NewSource(73))
+	for _, fn := range funcs {
+		for trial := 0; trial < 300; trial++ {
+			q := randomUnicode(rng, 20)
+			c := randomUnicode(rng, 20)
+			k := NewKernel(fn, q)
+			for _, alpha := range alphas {
+				if k.Bound(c) < alpha && fn.Sim(q, c) >= alpha {
+					t.Fatalf("%s filtered (%q,%q) at α=%v but sim=%v",
+						fn.Name(), q, c, alpha, fn.Sim(q, c))
+				}
+			}
+		}
+	}
+}
+
+func TestThresholdedName(t *testing.T) {
+	f := Thresholded{Fn: EditSimilarity{}, Alpha: 0.8}
+	if got := f.Name(); got != "edit@0.8" {
+		t.Fatalf("Name() = %q, want edit@0.8", got)
+	}
+	f.Alpha = 0.75
+	if got := f.Name(); got != "edit@0.75" {
+		t.Fatalf("Name() = %q, want edit@0.75", got)
+	}
+}
+
+// BenchmarkEditKernel compares the DP reference, the bit-parallel pairwise
+// path, and the prepared batch kernel on a synthetic vocabulary of short
+// tokens (the FuncIndex/DynamicFunc scan shape).
+func BenchmarkEditKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(74))
+	vocab := make([]string, 512)
+	letters := []rune("abcdefghijklmnop")
+	for i := range vocab {
+		n := 4 + rng.Intn(12)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteRune(letters[rng.Intn(len(letters))])
+		}
+		vocab[i] = sb.String()
+	}
+	q := vocab[0][:len(vocab[0])-1] + "zz"
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tok := range vocab {
+				levenshteinDP(q, tok)
+			}
+		}
+	})
+	b.Run("myers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tok := range vocab {
+				levenshtein(q, tok)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		k := NewKernel(EditSimilarity{}, q)
+		out := make([]float64, len(vocab))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.SimBatch(vocab, out)
+		}
+	})
+}

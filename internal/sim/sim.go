@@ -9,6 +9,7 @@ package sim
 
 import (
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -37,8 +38,11 @@ func (t Thresholded) Sim(a, b string) float64 {
 	return s
 }
 
-// Name implements Func.
-func (t Thresholded) Name() string { return t.Fn.Name() + "@alpha" }
+// Name implements Func. The actual α is interpolated so /v1/info and bench
+// labels distinguish configurations (edit@0.8 vs edit@0.9).
+func (t Thresholded) Name() string {
+	return t.Fn.Name() + "@" + strconv.FormatFloat(t.Alpha, 'g', -1, 64)
+}
 
 // Exact is the equality similarity: 1 for identical strings, 0 otherwise.
 // Semantic overlap under Exact is the vanilla overlap (§II).
@@ -147,7 +151,9 @@ func jaccard(a, b []string) float64 {
 // 1 − lev(a,b)/max(|a|,|b|), a common character-level choice [16].
 type EditSimilarity struct{}
 
-// Sim implements Func.
+// Sim implements Func. The distance comes from the bit-parallel kernel in
+// myers.go — same byte alphabet, same integer distance, same floats as the
+// two-row DP it replaced.
 func (EditSimilarity) Sim(a, b string) float64 {
 	if a == b {
 		return 1
@@ -166,36 +172,6 @@ func (EditSimilarity) Sim(a, b string) float64 {
 
 // Name implements Func.
 func (EditSimilarity) Name() string { return "edit" }
-
-func levenshtein(a, b string) int {
-	if len(a) < len(b) {
-		a, b = b, a
-	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(a); i++ {
-		cur[0] = i
-		for j := 1; j <= len(b); j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			best := prev[j-1] + cost
-			if v := prev[j] + 1; v < best {
-				best = v
-			}
-			if v := cur[j-1] + 1; v < best {
-				best = v
-			}
-			cur[j] = best
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(b)]
-}
 
 // Cosine computes the cosine similarity of two vectors, clamped to [0,1]
 // (negative cosines carry no overlap signal and Def. 1 requires a
