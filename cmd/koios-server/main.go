@@ -160,7 +160,7 @@ func loadManager(path, kind string, scale float64, dir string, opts core.Options
 		vec  func(string) ([]float32, bool)
 	)
 	if path != "" {
-		f, err := store.Load(path)
+		f, err := store.Load(store.OS, path)
 		if err != nil {
 			return nil, err
 		}

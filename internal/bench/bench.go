@@ -97,7 +97,7 @@ func Experiments() []string {
 		"fig5a", "fig5bc", "fig5d", "fig6a", "fig6bc", "fig6d",
 		"fig7a", "fig7b", "fig7c", "fig7d", "fig8",
 		"silkmoth", "ablation", "mixed", "recovery", "throughput",
-		"lazystream", "chaos",
+		"lazystream", "chaos", "coldstart",
 	}
 }
 
@@ -160,6 +160,8 @@ func (r *Runner) Run(exp string) error {
 		return r.LazyStream()
 	case "chaos":
 		return r.Chaos()
+	case "coldstart":
+		return r.ColdStart()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (want one of %v)", exp, Experiments())
 	}

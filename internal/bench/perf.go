@@ -74,6 +74,12 @@ type PerfBaseline struct {
 	// does not gate on it — cut rates are workload properties, not
 	// regressions.
 	Streams []StreamSavings `json:"stream_savings,omitempty"`
+	// ColdStart records the restart profile per kind — mmap-served v2 open
+	// vs the legacy v1 decode of the same data (absent in baselines recorded
+	// before the zero-copy snapshot layer). When present, ComparePerf gates
+	// the v2 open's wall time and allocations; the v1 column and RSS are
+	// informational.
+	ColdStart []ColdStartEntry `json:"cold_start,omitempty"`
 }
 
 // Perf measures one end-to-end engine query per dataset kind — the
@@ -159,6 +165,18 @@ func (r *Runner) Perf(label string) PerfBaseline {
 			sv.LazyTuples, sv.EagerTuples, sv.CutQueries, sv.Queries,
 			entry.KernelNs, 100*entry.HungarianSkippedFrac)
 	}
+	for _, kind := range datagen.Kinds() {
+		cs, err := r.measureColdStart(kind)
+		if err != nil {
+			// A missing kind trips ComparePerf against any baseline that
+			// recorded it, so the failure cannot pass the gate silently.
+			r.printf("perf coldstart %-10s error: %v\n", kind, err)
+			continue
+		}
+		pb.ColdStart = append(pb.ColdStart, cs)
+		r.printf("perf coldstart %-10s open %12d ns %12d B alloc (v1: %12d ns %12d B)  rss %d B\n",
+			kind, cs.OpenNs, cs.OpenAllocBytes, cs.OpenV1Ns, cs.OpenV1AllocBytes, cs.RSSBytes)
+	}
 	return pb
 }
 
@@ -235,6 +253,19 @@ func ComparePerf(baseline, fresh PerfBaseline, allocTol, nsTol float64) []string
 		check(base.Kind, "allocs/op", base.AllocsPerOp, got.AllocsPerOp, allocTol)
 		check(base.Kind, "bytes/op", base.BytesPerOp, got.BytesPerOp, allocTol)
 		check(base.Kind, "ns/op", base.NsPerOp, got.NsPerOp, nsTol)
+	}
+	freshCold := make(map[string]ColdStartEntry, len(fresh.ColdStart))
+	for _, e := range fresh.ColdStart {
+		freshCold[e.Kind] = e
+	}
+	for _, base := range baseline.ColdStart {
+		got, ok := freshCold[base.Kind]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("cold-start kind %q present in baseline but not measured", base.Kind))
+			continue
+		}
+		check(base.Kind, "cold-start open ns", base.OpenNs, got.OpenNs, nsTol)
+		check(base.Kind, "cold-start open alloc bytes", base.OpenAllocBytes, got.OpenAllocBytes, allocTol)
 	}
 	return violations
 }

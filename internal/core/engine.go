@@ -78,7 +78,9 @@ func NewEngine(repo *sets.Repository, src index.NeighborSource, opts Options) *E
 	e.invs = make([]*index.Inverted, len(e.parts))
 	e.card = make([]int32, repo.Len())
 	for i := 0; i < repo.Len(); i++ {
-		e.card[i] = int32(len(repo.Set(i).Elements))
+		// ElemIDs, not Elements: mapped segments (DESIGN.md §13) carry only
+		// IDs, and the two are always the same length on eager repos.
+		e.card[i] = int32(len(repo.Set(i).ElemIDs))
 	}
 	e.localOf = make([]int32, repo.Len())
 	e.cOffs = make([][]int32, len(e.parts))

@@ -191,10 +191,11 @@ type DynamicExact struct {
 
 // NewDynamicExact builds a dynamic exact vector source over dict, covering
 // every current and future dictionary token for which vec returns a vector.
+// Construction is O(1): the retrieval entry points Sync lazily, so the
+// vocabulary is embedded on first use, not on the (cold-start critical)
+// build path.
 func NewDynamicExact(dict *sets.Dictionary, vec func(string) ([]float32, bool)) *DynamicExact {
-	e := &DynamicExact{dict: dict, vec: vec, byToken: make(map[string]int)}
-	e.Sync()
-	return e
+	return &DynamicExact{dict: dict, vec: vec, byToken: make(map[string]int)}
 }
 
 // QueryVocabBound marks the index as requiring indexed query elements

@@ -125,7 +125,7 @@ func (d *Discovery) Mapping(query []string, setID int) ([]Pair, error) {
 	if setID < 0 || setID >= d.repo.Len() {
 		return nil, fmt.Errorf("join: set %d out of range [0,%d)", setID, d.repo.Len())
 	}
-	return MappingBetween(d.src, d.opts.Alpha, query, d.repo.Set(setID).Elements), nil
+	return MappingBetween(d.src, d.opts.Alpha, query, d.repo.Elements(setID)), nil
 }
 
 // MappingBetween computes the optimal one-to-one element mapping between a

@@ -7,6 +7,7 @@ import (
 	"log"
 	"math/bits"
 	"path/filepath"
+	"runtime"
 	"slices"
 
 	"repro/internal/core"
@@ -136,10 +137,17 @@ func Open(dir string, seed []sets.Set, build SourceBuilder, opts core.Options, c
 // Damaged files are quarantined, not fatal — the manager comes up degraded
 // over whatever survives.
 func recoverDir(dir string, man *store.Manifest, build SourceBuilder, opts core.Options, cfg Config) (*Manager, error) {
+	// Presize the location map to the manifest's row total: registration
+	// inserts every live row, and incremental map growth is measurable on
+	// the cold-start path.
+	rows := 0
+	for _, ms := range man.Segments {
+		rows += ms.Rows
+	}
 	m := &Manager{
 		opts:     opts,
 		cfg:      cfg.withDefaults(),
-		where:    make(map[string]loc),
+		where:    make(map[string]loc, rows),
 		dir:      dir,
 		fs:       cfg.FS,
 		gen:      man.Gen,
@@ -158,6 +166,10 @@ func recoverDir(dir string, man *store.Manifest, build SourceBuilder, opts core.
 	if err == nil {
 		if m.dict, err = sets.NewDictionaryFromTokens(tokens); err == nil {
 			m.dictN = len(tokens)
+			// Size the live-token tables once; retainLocked would otherwise
+			// grow them mid-registration with a copy.
+			m.tokenRefs = make([]int32, m.dictN)
+			m.liveBits = make([]uint64, (m.dictN+63)/64)
 		}
 	}
 	if err != nil {
@@ -201,7 +213,7 @@ func recoverDir(dir string, man *store.Manifest, build SourceBuilder, opts core.
 	// checkpointed state still serves, degraded.
 	walPath := filepath.Join(dir, man.WAL)
 	var recs []store.WALRecord
-	if _, _, damaged, err := store.ScanWAL(m.fs, walPath, man.Gen); err != nil {
+	if r, end, damaged, err := store.ScanWAL(m.fs, walPath, man.Gen); err != nil {
 		m.quarantine(man.WAL, fmt.Sprintf("WAL unreadable: %v", err))
 		wal, cerr := store.CreateWAL(m.fs, walPath, man.Gen)
 		if cerr != nil {
@@ -213,7 +225,10 @@ func recoverDir(dir string, man *store.Manifest, build SourceBuilder, opts core.
 			m.copyToQuarantine(man.WAL,
 				"mid-WAL corruption: intact records beyond a corrupt frame were dropped")
 		}
-		wal, r, err := store.OpenWAL(m.fs, walPath, man.Gen)
+		// The scan above already validated and decoded every record;
+		// ResumeWAL just truncates the tail and positions for appends
+		// instead of re-scanning the whole log.
+		wal, err := store.ResumeWAL(m.fs, walPath, end)
 		if err != nil {
 			return nil, err
 		}
@@ -307,12 +322,25 @@ func readFile(fsys store.FS, path string) ([]byte, error) {
 	return io.ReadAll(f)
 }
 
-// loadSegment materializes one manifest segment: snapshot rows through
-// sets.NewInternedSegment (bounds-checked against the recorded horizon), a
-// rebuilt engine, and live-row registration in the location map and
-// live-token refcounts.
+// loadSegment materializes one manifest segment. v2 snapshots are mapped
+// and served zero-copy (heap-decoded when the FS cannot map); v1 snapshots
+// take the legacy decode path and clear seg.file so the next checkpoint
+// rewrites them as v2 — the transparent upgrade (DESIGN.md §13). Both
+// paths defer the engine build to first search, keeping Open O(manifest
+// metadata + names) instead of O(data).
 func (m *Manager) loadSegment(ms store.ManifestSegment) (*seg, error) {
-	snap, err := store.LoadSegment(m.fs, filepath.Join(m.dir, ms.File))
+	path := filepath.Join(m.dir, ms.File)
+	// One open per segment: try the v2 mapped path directly and fall back
+	// to the v1 decoder only on the magic-mismatch sentinel (any other
+	// error — corruption, I/O — is final).
+	mseg, err := store.OpenMappedSegment(m.fs, path)
+	if err == nil {
+		return m.loadMappedSegment(ms, mseg)
+	}
+	if !errors.Is(err, store.ErrNotSegmentV2) {
+		return nil, err
+	}
+	snap, err := store.LoadSegment(m.fs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -343,19 +371,74 @@ func (m *Manager) loadSegment(ms store.ManifestSegment) (*seg, error) {
 	}
 	s := &seg{
 		repo:       repo,
-		eng:        core.NewEngine(repo, m.src, m.opts),
 		handles:    handles,
 		deadMaster: dead,
-		file:       ms.File,
+		// file stays empty: the v1 snapshot is still referenced by the
+		// manifest (removeOrphans keys on the manifest, not seg.file), but
+		// the next checkpoint sees an unpersisted segment and writes it in
+		// the v2 layout, after which the old file is swept.
 	}
-	for _, word := range dead {
+	s.mkEng = func() *core.Engine { return core.NewEngine(repo, m.src, m.opts) }
+	m.registerRowsLocked(s)
+	return s, nil
+}
+
+// loadMappedSegment builds a segment over a mapped (or heap-fallback) v2
+// snapshot: row names are materialized as heap strings (they outlive the
+// mapping in map keys and compaction outputs), the CSR arrays are borrowed
+// straight from the mapping, and the unmap is tied to the repository's
+// unreachability — once no snapshot, view, or in-flight search can reach
+// the repo, the cleanup drops the load-time reference and the mapping goes
+// away (DESIGN.md §13).
+func (m *Manager) loadMappedSegment(ms store.ManifestSegment, mseg *store.MappedSegment) (*seg, error) {
+	fail := func(err error) (*seg, error) {
+		mseg.Release()
+		return nil, err
+	}
+	if mseg.Rows() != ms.Rows {
+		return fail(fmt.Errorf("segment: %s has %d rows, manifest says %d", ms.File, mseg.Rows(), ms.Rows))
+	}
+	dead, err := ms.Dead()
+	if err != nil {
+		return fail(err)
+	}
+	// Manifest tombstones are authoritative; OR in the write-time bits
+	// (copied to the heap — deadMaster is writer-mutable, the mapping is
+	// not).
+	for i := range dead {
+		if i < len(mseg.Dead) {
+			dead[i] |= mseg.Dead[i]
+		}
+	}
+	repo, err := sets.NewMappedSegment(m.dict, mseg.Names(), mseg.RowOffs, mseg.ElemIDs, mseg.VocabN)
+	if err != nil {
+		return fail(fmt.Errorf("segment: %s: %w", ms.File, err))
+	}
+	runtime.AddCleanup(repo, func(b *store.MappedSegment) { b.Release() }, mseg)
+	s := &seg{
+		repo:       repo,
+		handles:    mseg.Handles,
+		deadMaster: dead,
+		file:       ms.File,
+		mseg:       mseg,
+	}
+	s.mkEng = func() *core.Engine { return core.NewEngine(repo, m.src, m.opts) }
+	m.registerRowsLocked(s)
+	return s, nil
+}
+
+// registerRowsLocked finishes loading a recovered segment: count the
+// tombstones, register every live row in the location map and live-token
+// refcounts, and advance the handle allocator past everything persisted.
+func (m *Manager) registerRowsLocked(s *seg) {
+	for _, word := range s.deadMaster {
 		s.deadN += bits.OnesCount64(word)
 	}
-	for local := 0; local < repo.Len(); local++ {
+	for local := 0; local < s.repo.Len(); local++ {
 		if s.dead(local) {
 			continue
 		}
-		row := repo.Set(local)
+		row := s.repo.Set(local)
 		if prev, ok := m.where[row.Name]; ok {
 			// Two live rows with one name should not survive a consistent
 			// checkpoint; recover like a seed duplicate — newer shadows.
@@ -366,11 +449,10 @@ func (m *Manager) loadSegment(ms store.ManifestSegment) (*seg, error) {
 		m.where[row.Name] = loc{seg: s, local: local}
 		m.retainLocked(row.ElemIDs)
 		m.live++
-		if handles[local] >= m.nextHandle {
-			m.nextHandle = handles[local] + 1
+		if s.handles[local] >= m.nextHandle {
+			m.nextHandle = s.handles[local] + 1
 		}
 	}
-	return s, nil
 }
 
 // checkpointLocked makes the current collection durable: seal the memtable
@@ -394,7 +476,7 @@ func (m *Manager) checkpointLocked() error {
 			continue
 		}
 		name := fmt.Sprintf("seg-%08d.kseg", m.nextSegID)
-		if err := store.SaveSegment(m.fs, filepath.Join(m.dir, name), segSnapshotOf(s)); err != nil {
+		if err := store.SaveSegmentV2(m.fs, filepath.Join(m.dir, name), segSnapshotOf(s)); err != nil {
 			return err
 		}
 		s.file = name
@@ -534,7 +616,7 @@ func (m *Manager) scrubLocked() ScrubReport {
 			continue
 		}
 		rep.Checked++
-		if _, err := store.LoadSegment(m.fs, filepath.Join(m.dir, s.file)); err != nil {
+		if err := store.VerifySegment(m.fs, filepath.Join(m.dir, s.file)); err != nil {
 			rep.Corrupt = append(rep.Corrupt, s.file)
 		}
 	}
@@ -548,13 +630,19 @@ func (m *Manager) scrubLocked() ScrubReport {
 }
 
 // Repair re-verifies every live engine file and re-persists the collection
-// when anything is damaged on disk: corrupt files are detached from their
-// in-memory state (which is intact — it was loaded before the damage or
-// built after it) and a fresh checkpoint rewrites them, commits a new
-// manifest, and sweeps the bad copies. A corrupt WAL needs no marking —
-// every checkpoint starts a new log. On success the manager leaves
-// degraded mode; quarantine/ is kept for the operator. The returned report
-// is the pre-repair scrub.
+// when anything is damaged on disk. For heap-decoded segments (v1 loads,
+// FS fallback loads, segments built from live data) the in-memory state is
+// an independent intact copy — it was loaded before the damage or built
+// after it — so the corrupt file is detached and a fresh checkpoint
+// rewrites it. A *zero-copy mapped* segment offers no such copy: the
+// served bytes ARE the rotted on-disk bytes, so re-persisting would
+// launder the corruption into a fresh checksum. Those segments are
+// withdrawn instead — dropped from serving and their file quarantined —
+// which is visible loss, recorded in Health, never a silent rewrite of
+// suspect data (DESIGN.md §13). A corrupt WAL needs no marking — every
+// checkpoint starts a new log. On success the manager leaves degraded
+// mode; quarantine/ is kept for the operator. The returned report is the
+// pre-repair scrub.
 func (m *Manager) Repair() (ScrubReport, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -571,9 +659,15 @@ func (m *Manager) Repair() (ScrubReport, error) {
 			continue
 		}
 		for _, s := range m.sealed {
-			if s.file == name {
+			if s.file != name {
+				continue
+			}
+			if s.mseg != nil && s.mseg.ZeroCopy() {
+				m.dropSegmentLocked(s, "zero-copy mapped segment failed its scrub while live")
+			} else {
 				s.file = ""
 			}
+			break
 		}
 	}
 	if err := m.checkpointLocked(); err != nil {
@@ -581,6 +675,47 @@ func (m *Manager) Repair() (ScrubReport, error) {
 	}
 	m.degraded = false
 	return rep, nil
+}
+
+// dropSegmentLocked withdraws a sealed segment whose backing file rotted
+// while being served zero-copy: remove it from the sealed set and the
+// location map, quarantine the file, and republish. The dropped segment's
+// mapped ElemIDs cannot be trusted for a refcount release (rot may have
+// rewritten them since load — releasing garbage IDs could panic, or clear
+// live bits other segments depend on), so the live-token state is rebuilt
+// from scratch over the survivors instead: exact, reads only intact
+// memory, and keeps searches byte-identical to an engine built on the
+// surviving sets alone.
+func (m *Manager) dropSegmentLocked(s *seg, reason string) {
+	idx := slices.Index(m.sealed, s)
+	if idx < 0 {
+		return
+	}
+	m.sealed = slices.Delete(m.sealed, idx, idx+1)
+	for local := 0; local < s.repo.Len(); local++ {
+		if s.dead(local) {
+			continue
+		}
+		// Names are heap strings materialized at load — safe to read even
+		// over a rotted mapping.
+		name := s.repo.Set(local).Name
+		if l, ok := m.where[name]; ok && !l.mem && l.seg == s && l.local == local {
+			delete(m.where, name)
+			m.live--
+		}
+	}
+	clear(m.tokenRefs)
+	clear(m.liveBits)
+	for _, l := range m.where {
+		if l.mem {
+			m.retainLocked(m.memSeg.repo.Set(l.idx).ElemIDs)
+		} else {
+			m.retainLocked(l.seg.repo.Set(l.local).ElemIDs)
+		}
+	}
+	m.quarantine(s.file, reason)
+	s.file = ""
+	m.publishLocked()
 }
 
 // Dir returns the manager's data directory, empty for in-memory managers.

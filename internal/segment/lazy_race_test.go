@@ -19,7 +19,7 @@ import (
 func searchEagerView(m *Manager, v *View, ctx context.Context, query []string) ([]Result, core.Stats, error) {
 	engines := make([]*core.Engine, len(v.segs))
 	for i, s := range v.segs {
-		opts := s.eng.Options()
+		opts := s.engine().Options()
 		opts.DisableLazy = true
 		engines[i] = core.NewEngine(s.repo, m.src, opts)
 	}

@@ -136,14 +136,40 @@ type Result struct {
 // see the clones published in snapshots); deadN counts its set bits.
 // file is the segment's on-disk snapshot name inside the manager's data
 // directory, empty while the segment exists only in memory (non-durable
-// managers, or a durable segment awaiting its first checkpoint).
+// managers, or a durable segment awaiting its first checkpoint). A file
+// that was loaded as v1 also clears file so the next checkpoint rewrites
+// it in the v2 layout (the transparent upgrade, DESIGN.md §13).
 type seg struct {
 	repo       *sets.Repository
-	eng        *core.Engine
 	handles    []int64
 	deadMaster []uint64
 	deadN      int
 	file       string
+
+	// eng is the segment's search engine. Segments built from live data
+	// (seed, seal, compaction) set it eagerly; recovery-loaded segments set
+	// mkEng instead and build on first use through engine(), keeping cold
+	// Open O(manifest) — the engine's CSR build is the only remaining
+	// O(data) step on the open path (DESIGN.md §13).
+	eng     *core.Engine
+	engOnce sync.Once
+	mkEng   func() *core.Engine
+
+	// mseg is the mapped v2 snapshot backing repo, nil for decoded or
+	// eagerly built segments. Repair consults it: a heap-loaded segment is
+	// an independent intact copy of its file and can be re-persisted over
+	// disk rot, while a zero-copy segment aliases the rotted bytes and must
+	// be withdrawn visibly instead (durable.go).
+	mseg *store.MappedSegment
+}
+
+// engine returns the segment's engine, building it on first use for
+// recovery-loaded segments. Safe for concurrent callers (sync.Once).
+func (s *seg) engine() *core.Engine {
+	if s.mkEng != nil {
+		s.engOnce.Do(func() { s.eng = s.mkEng() })
+	}
+	return s.eng
 }
 
 func (s *seg) dead(local int) bool {
@@ -656,7 +682,9 @@ func (m *Manager) captureLocked() (srcs []*seg, plan []planEntry, rows []sets.Se
 			}
 			row := s.repo.Set(local)
 			plan = append(plan, planEntry{name: row.Name, handle: s.handles[local], srcSeg: s, srcLocal: local})
-			rows = append(rows, sets.Set{Name: row.Name, Elements: row.Elements})
+			// Elements resolves through the dictionary for mapped segments,
+			// so compaction output never aliases a mapping it will outlive.
+			rows = append(rows, sets.Set{Name: row.Name, Elements: s.repo.Elements(local)})
 		}
 	}
 	return srcs, plan, rows
@@ -790,7 +818,7 @@ func (m *Manager) AcquireView(k int) *View {
 		}
 	} else {
 		for i, s := range sp.segs {
-			engines[i] = s.eng
+			engines[i] = s.engine()
 		}
 	}
 	return &View{
@@ -909,7 +937,7 @@ func (m *Manager) LiveSets() []SetRecord {
 				continue
 			}
 			row := s.repo.Set(local)
-			out = append(out, SetRecord{ID: s.handles[local], Name: row.Name, Elements: row.Elements})
+			out = append(out, SetRecord{ID: s.handles[local], Name: row.Name, Elements: s.repo.Elements(local)})
 		}
 	}
 	return out
@@ -931,7 +959,7 @@ func (m *Manager) SetByID(id int64) (SetRecord, bool) {
 				return SetRecord{}, false
 			}
 			row := s.repo.Set(local)
-			return SetRecord{ID: h, Name: row.Name, Elements: row.Elements}, true
+			return SetRecord{ID: h, Name: row.Name, Elements: s.repo.Elements(local)}, true
 		}
 	}
 	return SetRecord{}, false
@@ -949,7 +977,7 @@ func (m *Manager) SetByName(name string) (SetRecord, bool) {
 		return SetRecord{ID: m.memHandles[l.idx], Name: name, Elements: m.mem[l.idx].Elements}, true
 	}
 	row := l.seg.repo.Set(l.local)
-	return SetRecord{ID: l.seg.handles[l.local], Name: row.Name, Elements: row.Elements}, true
+	return SetRecord{ID: l.seg.handles[l.local], Name: row.Name, Elements: l.seg.repo.Elements(l.local)}, true
 }
 
 // Stats aggregates sets.Stats over the live collection.

@@ -99,6 +99,57 @@ func NewInternedSegment(dict *Dictionary, rows []Set, vocabN int) (*Repository, 
 	return r, nil
 }
 
+// NewMappedSegment rebuilds a segment over borrowed CSR storage: rowOffs
+// and elemIDs come straight from a mapped v2 segment snapshot (DESIGN.md
+// §13) and are aliased, not copied — each set's ElemIDs is a subslice of
+// elemIDs, so opening the segment allocates O(rows) set headers instead of
+// O(elements) decoded data. Element strings are NOT materialized; callers
+// needing them use Repository.Elements, which resolves lazily through the
+// shared dictionary. names must be heap-owned strings (the segment layer
+// materializes them from the mapping), because set names outlive the
+// mapping in map keys and compaction outputs.
+//
+// The caller owns the mapped storage's lifetime and must guarantee it
+// outlives the repository (the segment layer ties the unmap to this
+// repository's unreachability via a runtime cleanup).
+//
+// elemIDs were horizon-checked by the v2 parser; the check here guards the
+// dictionary precondition only.
+func NewMappedSegment(dict *Dictionary, names []string, rowOffs []int64, elemIDs []int32, vocabN int) (*Repository, error) {
+	if vocabN < 0 || vocabN > dict.Size() {
+		return nil, fmt.Errorf("sets: segment horizon %d outside dictionary of %d tokens", vocabN, dict.Size())
+	}
+	if len(rowOffs) != len(names)+1 {
+		return nil, fmt.Errorf("sets: %d row offsets for %d names", len(rowOffs), len(names))
+	}
+	r := &Repository{sets: make([]Set, len(names)), dict: dict, vocabN: vocabN}
+	for i, name := range names {
+		if name == "" {
+			name = fmt.Sprintf("set-%d", i)
+		}
+		lo, hi := rowOffs[i], rowOffs[i+1]
+		r.sets[i] = Set{ID: i, Name: name, ElemIDs: elemIDs[lo:hi:hi]}
+	}
+	return r, nil
+}
+
+// Elements returns the element strings of the set with the given ID,
+// resolving them through the dictionary on demand for mapped segments
+// (whose sets carry only ElemIDs). The returned strings are heap-owned
+// dictionary tokens, safe to retain past the segment's life. Eagerly
+// built repositories return their materialized slice unchanged.
+func (r *Repository) Elements(id int) []string {
+	s := &r.sets[id]
+	if s.Elements != nil || len(s.ElemIDs) == 0 {
+		return s.Elements
+	}
+	out := make([]string, len(s.ElemIDs))
+	for j, tid := range s.ElemIDs {
+		out[j] = r.dict.Token(tid)
+	}
+	return out
+}
+
 func dedup(elems []string) []string {
 	seen := make(map[string]bool, len(elems))
 	out := make([]string, 0, len(elems))
@@ -171,7 +222,7 @@ func (r *Repository) Stats() Stats {
 	st := Stats{NumSets: len(r.sets), UniqueElems: r.vocabN}
 	total := 0
 	for _, s := range r.sets {
-		n := len(s.Elements)
+		n := len(s.ElemIDs) // == len(s.Elements) eager, sole source mapped
 		total += n
 		if n > st.MaxSize {
 			st.MaxSize = n
@@ -212,7 +263,7 @@ func (r *Repository) Partition(n int, seed int64) [][]int {
 func (r *Repository) CardinalityPercentiles(pcts ...float64) []int {
 	sizes := make([]int, len(r.sets))
 	for i, s := range r.sets {
-		sizes[i] = len(s.Elements)
+		sizes[i] = len(s.ElemIDs)
 	}
 	sort.Ints(sizes)
 	out := make([]int, len(pcts))

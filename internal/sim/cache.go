@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 )
 
@@ -31,8 +32,14 @@ import (
 // order-normalized (similarity is symmetric, Def. 1), so (a,b) and (b,a)
 // share a slot.
 type PairCache struct {
-	slots []pairSlot
+	// The slot table is allocated lazily, on the first Put: a manager wires
+	// the cache at construction/recovery time, and zeroing the default
+	// 16 MiB table dominated an otherwise O(manifest) cold start. Readers
+	// load the pointer once per call — nil reads as an all-miss table.
+	slots atomic.Pointer[[]pairSlot]
+	n     int
 	mask  uint64
+	init  sync.Mutex
 	// Counters are plain shared atomics; the hot retrieval loops keep local
 	// tallies and publish them in one AddLookups per scan (see Lookup), so
 	// the contended-RMW rate is per scan, not per probe. Put's fill/evict
@@ -65,7 +72,24 @@ func NewPairCache(capacity int) *PairCache {
 	for n < capacity {
 		n <<= 1
 	}
-	return &PairCache{slots: make([]pairSlot, n), mask: uint64(n - 1)}
+	return &PairCache{n: n, mask: uint64(n - 1)}
+}
+
+// table returns the slot table, allocating it on first use. The double-
+// checked lock keeps concurrent first Puts from racing two tables into
+// place; after that the cost is one atomic pointer load.
+func (c *PairCache) table() *[]pairSlot {
+	if t := c.slots.Load(); t != nil {
+		return t
+	}
+	c.init.Lock()
+	defer c.init.Unlock()
+	if t := c.slots.Load(); t != nil {
+		return t
+	}
+	t := make([]pairSlot, c.n)
+	c.slots.Store(&t)
+	return &t
 }
 
 // pairKey packs the order-normalized ID pair into one uint64.
@@ -89,8 +113,12 @@ func (c *PairCache) slotIndex(key uint64) uint64 {
 // counter RMW would serialize every core on the same cache line exactly for
 // the hot pairs the cache exists to serve.
 func (c *PairCache) Lookup(a, b int32) (float64, bool) {
+	t := c.slots.Load()
+	if t == nil {
+		return 0, false
+	}
 	key := pairKey(a, b)
-	sl := &c.slots[c.slotIndex(key)]
+	sl := &(*t)[c.slotIndex(key)]
 	check := sl.check.Load()
 	val := sl.val.Load()
 	if check^val != key {
@@ -125,7 +153,7 @@ func (c *PairCache) Get(a, b int32) (float64, bool) {
 // pair hashed to the same slot (counted as an eviction).
 func (c *PairCache) Put(a, b int32, v float64) {
 	key := pairKey(a, b)
-	sl := &c.slots[c.slotIndex(key)]
+	sl := &(*c.table())[c.slotIndex(key)]
 	oldCheck := sl.check.Load()
 	oldVal := sl.val.Load()
 	switch old := oldCheck ^ oldVal; {
@@ -170,6 +198,6 @@ func (c *PairCache) Stats() CacheStats {
 		Misses:    c.misses.Load(),
 		Evictions: c.evicts.Load(),
 		Entries:   c.fills.Load(),
-		Capacity:  int64(len(c.slots)),
+		Capacity:  int64(c.n),
 	}
 }

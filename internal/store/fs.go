@@ -12,8 +12,8 @@ import (
 // §11). Every WAL, snapshot, and manifest operation goes through an FS so
 // tests can inject short writes, ENOSPC, fsync failures, and crash-at-op-N
 // points (FaultFS) without touching the real disk paths. Production code
-// uses OS. The gzip-JSON dataset format (store.go) is not part of the
-// crash-consistency story and stays on plain os calls.
+// uses OS. The gzip-JSON dataset format (store.go) routes through the same
+// seam so dataset files share the fault and durability coverage.
 type FS interface {
 	// Create creates (or truncates) the file at path for writing.
 	Create(path string) (FSFile, error)

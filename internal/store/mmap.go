@@ -1,0 +1,26 @@
+package store
+
+import "errors"
+
+// Mmapper is the optional FS capability behind zero-copy segment serving
+// (DESIGN.md §13). The production osFS implements it on unix; FaultFS
+// deliberately does not, so every fault-injection run exercises the pure
+// read fallback in OpenMappedSegment and corruption/crash coverage is
+// never bypassed by the kernel's page cache.
+type Mmapper interface {
+	// Mmap maps the file at path read-only and returns the mapped bytes
+	// plus the function that unmaps them. The mapping survives a rename or
+	// unlink of the path (checkpoint and quarantine both move files out
+	// from under live readers).
+	Mmap(path string) (data []byte, unmap func() error, err error)
+}
+
+// errMmapUnsupported marks platforms (or file states) where mapping is
+// impossible rather than failed; callers fall back to a plain read.
+var errMmapUnsupported = errors.New("mmap unsupported")
+
+// mmapFallback reports whether err means "cannot map here, read instead"
+// as opposed to a real I/O failure that must surface.
+func mmapFallback(err error) bool {
+	return errors.Is(err, errMmapUnsupported)
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package store
+
+// Mmap on platforms without syscall.Mmap: report unsupported so
+// OpenMappedSegment falls back to reading the file into an aligned heap
+// buffer. The v2 format still loads — just not zero-copy.
+func (osFS) Mmap(path string) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnsupported
+}

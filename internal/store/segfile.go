@@ -9,7 +9,10 @@ package store
 // are interned int32 IDs and the dictionary is the decoder ring.
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -117,10 +120,26 @@ func WriteSegment(w io.Writer, s *SegmentSnapshot) error {
 	return nil
 }
 
-// ReadSegment deserializes a segment snapshot, verifying the checksum and
-// structural sanity (IDs within the horizon, bitset sized to the rows).
+// ReadSegment deserializes a segment snapshot in either format, verifying
+// checksums and structural sanity (IDs within the horizon, bitset sized to
+// the rows). v2 files (segfile_v2.go) are parsed and materialized into the
+// same owned SegmentSnapshot shape — callers that need zero-copy serving
+// use OpenMappedSegment instead.
 func ReadSegment(r io.Reader) (*SegmentSnapshot, error) {
-	br := newBinReader(r)
+	buf := bufio.NewReader(r)
+	if magic, err := buf.Peek(5); err == nil && [5]byte(magic) == segMagicV2 {
+		data, err := io.ReadAll(buf)
+		if err != nil {
+			return nil, fmt.Errorf("store: read segment: %w", err)
+		}
+		ms := &MappedSegment{data: alignedBytes(data)}
+		ms.refs.Store(1)
+		if err := ms.parse(); err != nil {
+			return nil, fmt.Errorf("store: corrupt segment: %w", err)
+		}
+		return ms.Snapshot(), nil
+	}
+	br := newBinReader(buf)
 	if err := checkMagic(br, segMagic, "segment"); err != nil {
 		return nil, err
 	}
@@ -134,8 +153,19 @@ func ReadSegment(r io.Reader) (*SegmentSnapshot, error) {
 		row := SegmentRow{Handle: int64(br.uvarint()), Name: br.str("set name")}
 		nElem := br.count("set element")
 		row.ElemIDs = make([]int32, 0, min(nElem, 1<<20))
-		for j := 0; j < nElem && br.err == nil; j++ {
-			row.ElemIDs = append(row.ElemIDs, int32(br.uvarint()))
+		for j := 0; j < nElem; j++ {
+			// Validate inside the decode loop: one pass over the data, and a
+			// bad ID fails on first sight instead of after decoding the rest
+			// of a possibly multi-GB file. The raw uvarint is checked before
+			// the int32 narrowing so oversized garbage can't wrap into range.
+			id := br.uvarint()
+			if br.err != nil {
+				break
+			}
+			if id >= uint64(s.VocabN) {
+				return nil, fmt.Errorf("store: corrupt segment: row %d token ID %d outside horizon %d", i, id, s.VocabN)
+			}
+			row.ElemIDs = append(row.ElemIDs, int32(id))
 		}
 		s.Rows = append(s.Rows, row)
 	}
@@ -150,13 +180,6 @@ func ReadSegment(r io.Reader) (*SegmentSnapshot, error) {
 	if want := (len(s.Rows) + 63) / 64; len(s.Dead) != want && !(len(s.Rows) == 0 && len(s.Dead) == 0) {
 		return nil, fmt.Errorf("store: corrupt segment: %d tombstone words for %d rows (want %d)", len(s.Dead), len(s.Rows), want)
 	}
-	for i, row := range s.Rows {
-		for _, id := range row.ElemIDs {
-			if id < 0 || int(id) >= s.VocabN {
-				return nil, fmt.Errorf("store: corrupt segment: row %d token ID %d outside horizon %d", i, id, s.VocabN)
-			}
-		}
-	}
 	return s, nil
 }
 
@@ -165,14 +188,61 @@ func SaveDict(fsys FS, path string, tokens []string) error {
 	return saveSynced(fsys, path, func(w io.Writer) error { return WriteDict(w, tokens) })
 }
 
-// LoadDict reads the vocabulary at path.
+// LoadDict reads the vocabulary at path. It reads the file whole and
+// parses from the contiguous buffer: one CRC pass, and every token sliced
+// from a single shared backing string — O(1) allocations instead of one
+// per token, which matters on the cold-start path where the dictionary
+// load is the decoder ring every reopen must pay for.
 func LoadDict(fsys FS, path string) ([]string, error) {
-	f, err := fsys.Open(path)
+	raw, err := readFileFS(fsys, path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	defer f.Close()
-	return ReadDict(f)
+	return parseDict(raw)
+}
+
+// parseDict decodes a whole dictionary file, enforcing exactly what
+// ReadDict enforces: magic, token count and length sanity bounds, and the
+// trailing payload CRC.
+func parseDict(data []byte) ([]string, error) {
+	if len(data) < len(dictMagic)+4 {
+		return nil, fmt.Errorf("store: dictionary: %w", io.ErrUnexpectedEOF)
+	}
+	if [5]byte(data[:5]) != dictMagic {
+		return nil, fmt.Errorf("store: not a koios dictionary file (magic %q)", data[:5])
+	}
+	payload := data[: len(data)-4 : len(data)-4]
+	if got, want := binary.LittleEndian.Uint32(data[len(data)-4:]), crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("store: corrupt dictionary: checksum mismatch (stored %08x, computed %08x)", got, want)
+	}
+	rest := payload[len(dictMagic):]
+	blob := string(rest)
+	pos := 0
+	next := func() (uint64, bool) {
+		v, n := binary.Uvarint(rest[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	n, ok := next()
+	if !ok || n > maxBinCount {
+		return nil, fmt.Errorf("store: corrupt dictionary: bad token count")
+	}
+	tokens := make([]string, 0, min(int(n), 1<<20))
+	for i := 0; i < int(n); i++ {
+		l, ok := next()
+		if !ok || l > maxBinString || uint64(pos)+l > uint64(len(rest)) {
+			return nil, fmt.Errorf("store: corrupt dictionary: token %d truncated", i)
+		}
+		tokens = append(tokens, blob[pos:pos+int(l)])
+		pos += int(l)
+	}
+	if pos != len(rest) {
+		return nil, fmt.Errorf("store: corrupt dictionary: %d trailing payload bytes", len(rest)-pos)
+	}
+	return tokens, nil
 }
 
 // SaveSegment writes the snapshot to path and syncs it to stable storage.

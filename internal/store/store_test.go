@@ -108,10 +108,10 @@ func TestEncodeVectorsDimMismatch(t *testing.T) {
 func TestSaveLoadFile(t *testing.T) {
 	f := sampleFile(t)
 	path := filepath.Join(t.TempDir(), "ds.koios.gz")
-	if err := Save(path, f); err != nil {
+	if err := Save(OS, path, f); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(path)
+	got, err := Load(OS, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestSaveLoadFile(t *testing.T) {
 }
 
 func TestLoadMissingFile(t *testing.T) {
-	if _, err := Load(filepath.Join(t.TempDir(), "nope.gz")); err == nil {
+	if _, err := Load(OS, filepath.Join(t.TempDir(), "nope.gz")); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -184,10 +184,10 @@ func TestDatasetEndToEnd(t *testing.T) {
 	f.Vectors = vecs
 
 	path := filepath.Join(t.TempDir(), "twitter.koios.gz")
-	if err := Save(path, f); err != nil {
+	if err := Save(OS, path, f); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(path)
+	got, err := Load(OS, path)
 	if err != nil {
 		t.Fatal(err)
 	}

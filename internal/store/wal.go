@@ -98,6 +98,29 @@ func OpenWAL(fsys FS, path string, gen uint64) (*WAL, []WALRecord, error) {
 	return &WAL{f: f, path: path}, recs, nil
 }
 
+// ResumeWAL opens an existing log for appending at end — the offset just
+// past the last complete record, as reported by a preceding ScanWAL —
+// truncating whatever lies beyond it (a torn tail, or gap debris the
+// caller has already copied to quarantine) and seeking there. It skips the
+// record re-scan OpenWAL would pay: on the recovery path the log was fully
+// scanned and validated moments earlier, and decoding every record twice
+// doubles the replay cost of a crash restart for nothing.
+func ResumeWAL(fsys FS, path string, end int64) (*WAL, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncate torn WAL tail: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
 // ScanWAL reads the log read-only: every complete record, the offset just
 // past the last one, and whether intact records exist beyond a corrupt
 // frame. A torn tail (crash mid-append) has nothing valid after the break,
