@@ -18,6 +18,15 @@
 // and POST /v1/search/batch answers many queries against one snapshot.
 // GET /v1/info reports queue depth, latency percentiles, and cache hit rate.
 //
+// Multi-tenant serving (DESIGN.md §14): one process serves N named
+// collections. POST /v1/collections creates one (optionally with a quota),
+// /v1/collections/{name}/... scopes every data route, and the un-scoped
+// routes keep serving the default collection byte-identically. With -dir,
+// named collections live in their own sub-directories under
+// <dir>/collections/ and recover independently on restart. The -default-*
+// flags set the quota applied to collections created without one
+// (0 = unlimited); -shed-p99 adds latency-driven load shedding.
+//
 //	koios-server -dataset opendata -scale 0.1 -addr :7411
 //	koios-server -data wdc.koios.gz -addr :7411
 //	koios-server -dataset twitter -scale 0.1 -dir ./koios-data
@@ -51,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/index"
@@ -78,7 +88,14 @@ func main() {
 		seal     = flag.Int("seal", 256, "memtable sets buffered before sealing a segment")
 		maxSegs  = flag.Int("max-segments", 4, "sealed segments tolerated before compaction")
 		maxQueue = flag.Int("max-queue", 0, "worker-pool queue depth beyond which searches are shed with 429 (0 = 8 × search workers)")
+		shedP99  = flag.Duration("shed-p99", 0, "shed new searches with 429 while the recent p99 latency exceeds this and queries are queueing (0 = disabled)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+
+		defMaxSets     = flag.Int64("default-max-sets", 0, "default per-collection live-set quota for collections created without one (0 = unlimited)")
+		defMaxBytes    = flag.Int64("default-max-bytes", 0, "default per-collection byte quota (summed element bytes; 0 = unlimited)")
+		defQPS         = flag.Float64("default-qps", 0, "default per-collection search rate limit in queries/sec (0 = unlimited)")
+		defBurst       = flag.Int("default-burst", 0, "default rate-limit burst (0 = qps rounded up)")
+		defMaxInFlight = flag.Int64("default-max-inflight", 0, "default per-collection concurrent-search cap (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -97,37 +114,52 @@ func main() {
 	go func() { errCh <- srv.Serve(ln) }()
 	log.Printf("koios-server: listening on %s, loading collection (readyz 503 until recovery completes)", ln.Addr())
 
-	mgr, err := loadManager(*data, *dataset, *scale, *dir, core.Options{
+	reg, err := loadRegistry(*data, *dataset, *scale, *dir, core.Options{
 		K:           *k,
 		Alpha:       *alpha,
 		Partitions:  *parts,
 		Workers:     *verifyW,
 		ExactScores: true,
-	}, segment.Config{SealThreshold: *seal, MaxSegments: *maxSegs, SyncWAL: *sync, SimCacheSize: *simCache})
+	}, segment.Config{SealThreshold: *seal, MaxSegments: *maxSegs, SyncWAL: *sync, SimCacheSize: *simCache},
+		collection.Quota{
+			MaxSets:     *defMaxSets,
+			MaxBytes:    *defMaxBytes,
+			RatePerSec:  *defQPS,
+			Burst:       *defBurst,
+			MaxInFlight: *defMaxInFlight,
+		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sw.Swap(server.New(mgr, server.Config{
-		K:             *k,
-		Alpha:         *alpha,
-		Partitions:    *parts,
-		Workers:       *verifyW,
-		SearchWorkers: *workers,
-		QueryTimeout:  *qTimeout,
-		MaxQueueDepth: *maxQueue,
+	sw.Swap(server.NewRegistry(reg, server.Config{
+		K:              *k,
+		Alpha:          *alpha,
+		Partitions:     *parts,
+		Workers:        *verifyW,
+		SearchWorkers:  *workers,
+		QueryTimeout:   *qTimeout,
+		MaxQueueDepth:  *maxQueue,
+		ShedLatencyP99: *shedP99,
 	}))
-	if h := mgr.Health(); h.Degraded {
-		log.Printf("koios-server: WARNING: recovery quarantined %d damaged file(s); serving the survivors degraded — POST /v1/repair to re-persist and clear", len(h.Quarantined))
-		for _, q := range h.Quarantined {
-			log.Printf("koios-server:   quarantined %s: %s", q.File, q.Reason)
+	var totalSets, totalTokens int
+	for _, c := range reg.List() {
+		m := c.Manager()
+		totalSets += m.Len()
+		totalTokens += m.VocabSize()
+		if h := m.Health(); h.Degraded {
+			log.Printf("koios-server: WARNING: collection %q recovery quarantined %d damaged file(s); serving the survivors degraded — POST /v1/collections/%s/repair to re-persist and clear", c.Name(), len(h.Quarantined), c.Name())
+			for _, q := range h.Quarantined {
+				log.Printf("koios-server:   quarantined %s: %s", q.File, q.Reason)
+			}
 		}
 	}
+	mgr := reg.Default().Manager()
 	durability := "in-memory"
 	if mgr.Dir() != "" {
 		durability = "durable in " + mgr.Dir()
 	}
-	log.Printf("koios-server: ready — %d sets, %d tokens, %s", mgr.Len(), mgr.VocabSize(), durability)
+	log.Printf("koios-server: ready — %d collection(s), %d sets, %d tokens, %s", len(reg.List()), totalSets, totalTokens, durability)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
@@ -146,15 +178,16 @@ func main() {
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("koios-server: %v", err)
 		}
-		// Checkpoint + close the WAL so the next start replays nothing.
-		if err := mgr.Close(); err != nil {
+		// Checkpoint + close every collection's WAL so the next start
+		// replays nothing.
+		if err := reg.Close(); err != nil {
 			log.Printf("koios-server: close: %v", err)
 		}
 		log.Print("koios-server: bye")
 	}
 }
 
-func loadManager(path, kind string, scale float64, dir string, opts core.Options, segCfg segment.Config) (*segment.Manager, error) {
+func loadRegistry(path, kind string, scale float64, dir string, opts core.Options, segCfg segment.Config, defQuota collection.Quota) (*collection.Registry, error) {
 	var (
 		seed []sets.Set
 		vec  func(string) ([]float32, bool)
@@ -184,11 +217,17 @@ func loadManager(path, kind string, scale float64, dir string, opts core.Options
 	build := func(dict *sets.Dictionary) index.NeighborSource {
 		return index.NewDynamicExact(dict, vec)
 	}
+	regCfg := collection.Config{
+		Build:        build,
+		Opts:         opts.WithDefaults(),
+		SegCfg:       segCfg,
+		DefaultQuota: defQuota,
+	}
 	if dir == "" {
-		return segment.NewManager(seed, build, opts.WithDefaults(), segCfg), nil
+		return collection.NewRegistry(seed, regCfg), nil
 	}
 	if segment.Initialized(dir) {
-		log.Printf("koios-server: recovering collection from %s (dataset flags seed fresh directories only)", dir)
+		log.Printf("koios-server: recovering collections from %s (dataset flags seed fresh directories only)", dir)
 	}
-	return segment.Open(dir, seed, build, opts.WithDefaults(), segCfg)
+	return collection.OpenRegistry(dir, seed, regCfg)
 }

@@ -97,7 +97,7 @@ func Experiments() []string {
 		"fig5a", "fig5bc", "fig5d", "fig6a", "fig6bc", "fig6d",
 		"fig7a", "fig7b", "fig7c", "fig7d", "fig8",
 		"silkmoth", "ablation", "mixed", "recovery", "throughput",
-		"lazystream", "chaos", "coldstart",
+		"lazystream", "chaos", "coldstart", "multitenant",
 	}
 }
 
@@ -162,6 +162,8 @@ func (r *Runner) Run(exp string) error {
 		return r.Chaos()
 	case "coldstart":
 		return r.ColdStart()
+	case "multitenant":
+		return r.MultiTenant()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (want one of %v)", exp, Experiments())
 	}

@@ -1,0 +1,288 @@
+// Package collection is the multi-tenant layer above segment.Manager
+// (DESIGN.md §14): a Registry owns N named collections, each a fully
+// independent segmented engine with its own dictionary, segments, WAL and
+// manifest, plus the per-tenant accounting the serving layer enforces —
+// set-count and memory quotas checked at insert, a token-bucket rate limit
+// and an in-flight cap checked at search admission, and counters for every
+// refusal so operators can see which tenant is hitting which wall.
+//
+// One collection is special: the default collection, named "default",
+// always exists and (on durable registries) lives directly in the
+// registry's root directory — the exact layout a pre-multi-tenant server
+// used — so upgrading a single-collection deployment is opening the same
+// directory, and the legacy un-scoped HTTP routes keep serving it
+// byte-identically. Named collections live in their own sub-directories
+// under root/collections/<name>.
+package collection
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/segment"
+)
+
+// DefaultName is the name of the always-present default collection — the
+// one the legacy un-scoped HTTP routes serve.
+const DefaultName = "default"
+
+// Quota bounds one collection. The zero value means unlimited everything —
+// exactly the pre-multi-tenant behavior, which is what the default
+// collection gets unless the operator configures otherwise.
+type Quota struct {
+	// MaxSets caps the number of live sets (0 = unlimited). Replacing an
+	// existing name does not count against the cap twice.
+	MaxSets int64 `json:"max_sets,omitempty"`
+	// MaxBytes caps the collection's memory accounting: the summed byte
+	// length of every element of every live set (0 = unlimited). It is an
+	// accounting measure, not an RSS promise — indexes and dictionaries
+	// add overhead — but it moves monotonically with the data and is cheap
+	// to maintain incrementally.
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// RatePerSec admits at most this many searches per second through a
+	// token bucket (0 = unlimited). Batch requests take one token per
+	// entry.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the token bucket's capacity (default: RatePerSec rounded
+	// up, at least 1).
+	Burst int `json:"burst,omitempty"`
+	// MaxInFlight caps the collection's concurrently executing searches
+	// (0 = unlimited). On a shared worker pool this is the fairness knob:
+	// a tenant at its cap is shed with 429 instead of queueing, leaving
+	// pool slots for the other tenants.
+	MaxInFlight int64 `json:"max_in_flight,omitempty"`
+}
+
+// IsZero reports whether q is the all-unlimited zero value.
+func (q Quota) IsZero() bool { return q == Quota{} }
+
+// A QuotaError reports an insert refused because it would exceed the
+// collection's quota. The serving layer maps it to HTTP 413.
+type QuotaError struct {
+	Collection string
+	// Resource is "sets" or "bytes".
+	Resource string
+	// Limit is the configured bound, Used the current accounting, and
+	// Requested what the refused operation would have added.
+	Limit, Used, Requested int64
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("collection %q: %s quota exceeded: %d used + %d requested > limit %d",
+		e.Collection, e.Resource, e.Used, e.Requested, e.Limit)
+}
+
+// A RateLimitError reports a search refused by the collection's rate
+// limit. The serving layer maps it to HTTP 429 with RetryAfter.
+type RateLimitError struct {
+	Collection string
+	// RetryAfter is how long until the token bucket refills enough to
+	// admit the refused request.
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("collection %q: rate limit exceeded, retry in %v", e.Collection, e.RetryAfter)
+}
+
+// A BusyError reports a search refused because the collection is at its
+// in-flight cap — the fair-share refusal on the shared worker pool. The
+// serving layer maps it to HTTP 429.
+type BusyError struct {
+	Collection string
+	Limit      int64
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("collection %q: %d searches already in flight (the configured cap)", e.Collection, e.Limit)
+}
+
+// Counters is a snapshot of one collection's admission accounting.
+type Counters struct {
+	// SearchesTotal counts completed searches (single + batch entries);
+	// InsertsTotal counts applied inserts.
+	SearchesTotal int64 `json:"searches_total"`
+	InsertsTotal  int64 `json:"inserts_total"`
+	// QuotaRejectedTotal counts inserts refused by the sets/bytes quota
+	// (HTTP 413), RateLimitedTotal searches refused by the rate limit and
+	// ShedTotal searches refused at the in-flight cap (both HTTP 429).
+	QuotaRejectedTotal int64 `json:"quota_rejected_total"`
+	RateLimitedTotal   int64 `json:"rate_limited_total"`
+	ShedTotal          int64 `json:"shed_total"`
+}
+
+// Collection is one named tenant: a segmented engine plus the quota and
+// admission state. All methods are safe for concurrent use; searches go
+// straight to the wait-free Manager and never take the accounting lock.
+type Collection struct {
+	name  string
+	mgr   *segment.Manager
+	quota Quota
+
+	limiter *tokenBucket // nil when RatePerSec == 0
+
+	// bytes is the live memory accounting (summed element bytes); mu-free
+	// readers take the atomic, writers update it under the manager-facing
+	// mutation path (Insert/Delete serialize on writeMu so the
+	// check-then-apply quota decision is consistent).
+	bytes    atomic.Int64
+	inflight atomic.Int64
+
+	searches    atomic.Int64
+	inserts     atomic.Int64
+	quotaRej    atomic.Int64
+	rateLimited atomic.Int64
+	sheds       atomic.Int64
+
+	writeMu chan struct{} // 1-slot semaphore guarding quota check-then-insert
+}
+
+// newCollection wraps a manager. The initial byte accounting is computed
+// from the live sets (seed or recovered state).
+func newCollection(name string, mgr *segment.Manager, q Quota, now func() time.Time) *Collection {
+	c := &Collection{name: name, mgr: mgr, quota: q, writeMu: make(chan struct{}, 1)}
+	if q.RatePerSec > 0 {
+		c.limiter = newTokenBucket(q.RatePerSec, q.Burst, now)
+	}
+	var total int64
+	for _, rec := range mgr.LiveSets() {
+		total += setBytes(rec.Elements)
+	}
+	c.bytes.Store(total)
+	return c
+}
+
+// setBytes is the quota measure of one set: the summed element byte
+// lengths.
+func setBytes(elements []string) int64 {
+	var n int64
+	for _, e := range elements {
+		n += int64(len(e))
+	}
+	return n
+}
+
+// Name returns the collection's name.
+func (c *Collection) Name() string { return c.name }
+
+// Manager returns the collection's segmented engine. Searches and reads go
+// straight to it; mutations should go through Insert/Delete so the quota
+// accounting stays consistent.
+func (c *Collection) Manager() *segment.Manager { return c.mgr }
+
+// Quota returns the collection's configured bounds.
+func (c *Collection) Quota() Quota { return c.quota }
+
+// Bytes returns the current memory accounting (summed element bytes of
+// live sets).
+func (c *Collection) Bytes() int64 { return c.bytes.Load() }
+
+// Counters snapshots the admission accounting.
+func (c *Collection) Counters() Counters {
+	return Counters{
+		SearchesTotal:      c.searches.Load(),
+		InsertsTotal:       c.inserts.Load(),
+		QuotaRejectedTotal: c.quotaRej.Load(),
+		RateLimitedTotal:   c.rateLimited.Load(),
+		ShedTotal:          c.sheds.Load(),
+	}
+}
+
+// InFlight returns the number of searches currently admitted and not yet
+// released.
+func (c *Collection) InFlight() int64 { return c.inflight.Load() }
+
+// Insert adds (or replaces) a set, enforcing the sets/bytes quota first:
+// a refused insert returns *QuotaError and mutates nothing. Replacement
+// is quota-neutral on sets and charged by the size delta on bytes. The
+// check-then-apply pair is serialized against other quota-checked writes,
+// so concurrent inserts cannot both squeeze through the last quota slot.
+func (c *Collection) Insert(name string, elements []string) (int64, error) {
+	c.writeMu <- struct{}{}
+	defer func() { <-c.writeMu }()
+
+	add := setBytes(elements)
+	var oldBytes, oldSets int64
+	if name != "" {
+		if rec, ok := c.mgr.SetByName(name); ok {
+			oldBytes = setBytes(rec.Elements)
+			oldSets = 1
+		}
+	}
+	if c.quota.MaxSets > 0 {
+		used := int64(c.mgr.Len())
+		if used-oldSets+1 > c.quota.MaxSets {
+			c.quotaRej.Add(1)
+			return 0, &QuotaError{Collection: c.name, Resource: "sets", Limit: c.quota.MaxSets, Used: used, Requested: 1 - oldSets}
+		}
+	}
+	if c.quota.MaxBytes > 0 {
+		used := c.bytes.Load()
+		if used-oldBytes+add > c.quota.MaxBytes {
+			c.quotaRej.Add(1)
+			return 0, &QuotaError{Collection: c.name, Resource: "bytes", Limit: c.quota.MaxBytes, Used: used, Requested: add - oldBytes}
+		}
+	}
+	id, err := c.mgr.Insert(name, elements)
+	var durErr *segment.DurabilityError
+	if err == nil || errors.As(err, &durErr) {
+		// Applied (a DurabilityError means the mutation IS in the
+		// collection; only a follow-on durability step failed).
+		c.bytes.Add(add - oldBytes)
+		c.inserts.Add(1)
+	}
+	return id, err
+}
+
+// Delete removes the named set, keeping the byte accounting in step.
+func (c *Collection) Delete(name string) (bool, error) {
+	c.writeMu <- struct{}{}
+	defer func() { <-c.writeMu }()
+
+	var old int64
+	if rec, ok := c.mgr.SetByName(name); ok {
+		old = setBytes(rec.Elements)
+	}
+	deleted, err := c.mgr.Delete(name)
+	var durErr *segment.DurabilityError
+	if deleted && (err == nil || errors.As(err, &durErr)) {
+		c.bytes.Add(-old)
+	}
+	return deleted, err
+}
+
+// AdmitSearch runs the per-tenant admission checks for n searches (a batch
+// admits all its entries at once): the rate limit first, then the
+// in-flight cap. nil means admitted — the caller must pair it with
+// ReleaseSearch(n). A refusal returns *RateLimitError or *BusyError and
+// admits nothing.
+func (c *Collection) AdmitSearch(n int) error {
+	if c.limiter != nil {
+		if wait, ok := c.limiter.take(n); !ok {
+			c.rateLimited.Add(int64(n))
+			return &RateLimitError{Collection: c.name, RetryAfter: wait}
+		}
+	}
+	if c.quota.MaxInFlight > 0 {
+		for {
+			cur := c.inflight.Load()
+			if cur+int64(n) > c.quota.MaxInFlight {
+				c.sheds.Add(int64(n))
+				return &BusyError{Collection: c.name, Limit: c.quota.MaxInFlight}
+			}
+			if c.inflight.CompareAndSwap(cur, cur+int64(n)) {
+				return nil
+			}
+		}
+	}
+	c.inflight.Add(int64(n))
+	return nil
+}
+
+// ReleaseSearch returns n admitted searches, counting completed ones.
+func (c *Collection) ReleaseSearch(n int) {
+	c.inflight.Add(-int64(n))
+	c.searches.Add(int64(n))
+}

@@ -1,0 +1,241 @@
+package collection
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/segment"
+	"repro/internal/sets"
+)
+
+// testConfig builds a registry config with the equality similarity — fast,
+// deterministic, and quota semantics do not depend on the index at all.
+func testConfig() Config {
+	return Config{
+		Build: func(dict *sets.Dictionary) index.NeighborSource {
+			return index.NewDynamicFunc(dict, eqSim{})
+		},
+		Opts:   core.Options{K: 5, Alpha: 0.8, ExactScores: true}.WithDefaults(),
+		SegCfg: segment.Config{ForegroundCompaction: true},
+	}
+}
+
+type eqSim struct{}
+
+func (eqSim) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+func (eqSim) Name() string { return "eq" }
+
+func TestSetQuotaExactThreshold(t *testing.T) {
+	reg := NewRegistry(nil, testConfig())
+	c, err := reg.Create("t", Quota{MaxSets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly at the cap is admitted; one past it is refused.
+	for _, name := range []string{"a", "b"} {
+		if _, err := c.Insert(name, []string{"x"}); err != nil {
+			t.Fatalf("insert %s under quota: %v", name, err)
+		}
+	}
+	_, err = c.Insert("c", []string{"x"})
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("insert past MaxSets: got %v, want *QuotaError", err)
+	}
+	if qe.Resource != "sets" || qe.Limit != 2 || qe.Used != 2 {
+		t.Fatalf("quota error %+v, want sets limit=2 used=2", qe)
+	}
+	if c.Manager().Len() != 2 {
+		t.Fatalf("refused insert mutated the collection: %d sets", c.Manager().Len())
+	}
+
+	// Replacing a live name is quota-neutral at the cap.
+	if _, err := c.Insert("b", []string{"y", "z"}); err != nil {
+		t.Fatalf("replacement at the cap: %v", err)
+	}
+
+	// Deleting frees a slot.
+	if _, err := c.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert("c", []string{"x"}); err != nil {
+		t.Fatalf("insert after delete: %v", err)
+	}
+	if got := c.Counters().QuotaRejectedTotal; got != 1 {
+		t.Fatalf("quota_rejected_total = %d, want 1", got)
+	}
+}
+
+func TestByteQuotaExactThreshold(t *testing.T) {
+	reg := NewRegistry(nil, testConfig())
+	c, err := reg.Create("t", Quota{MaxBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "abcd" + "efgh" = exactly 8 accounted bytes: admitted.
+	if _, err := c.Insert("a", []string{"abcd", "efgh"}); err != nil {
+		t.Fatalf("insert at exact byte quota: %v", err)
+	}
+	if got := c.Bytes(); got != 8 {
+		t.Fatalf("bytes accounting = %d, want 8", got)
+	}
+	// One more byte is refused.
+	_, err = c.Insert("b", []string{"i"})
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Resource != "bytes" {
+		t.Fatalf("insert past MaxBytes: got %v, want *QuotaError{bytes}", err)
+	}
+	// Replacement is charged by delta: shrinking "a" to 4 bytes frees room.
+	if _, err := c.Insert("a", []string{"wxyz"}); err != nil {
+		t.Fatalf("shrinking replacement: %v", err)
+	}
+	if got := c.Bytes(); got != 4 {
+		t.Fatalf("bytes after shrink = %d, want 4", got)
+	}
+	if _, err := c.Insert("b", []string{"ijkl"}); err != nil {
+		t.Fatalf("insert into freed room: %v", err)
+	}
+	// Delete returns the accounting to the survivors' size.
+	if _, err := c.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Bytes(); got != 4 {
+		t.Fatalf("bytes after delete = %d, want 4", got)
+	}
+}
+
+func TestTokenBucketDeterministic(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	b := newTokenBucket(2, 2, now)
+
+	// The bucket starts full: exactly burst tokens, no more.
+	for i := 0; i < 2; i++ {
+		if _, ok := b.take(1); !ok {
+			t.Fatalf("take %d from a full burst-2 bucket refused", i)
+		}
+	}
+	wait, ok := b.take(1)
+	if ok {
+		t.Fatal("take past the burst admitted")
+	}
+	if wait != 500*time.Millisecond {
+		t.Fatalf("retry hint %v, want 500ms (1 token at 2/s)", wait)
+	}
+
+	// Refill is continuous: after 499ms still short, at 500ms admitted.
+	clock = clock.Add(499 * time.Millisecond)
+	if _, ok := b.take(1); ok {
+		t.Fatal("admitted before the refill completed")
+	}
+	clock = clock.Add(1 * time.Millisecond)
+	if _, ok := b.take(1); !ok {
+		t.Fatal("refused after the refill completed")
+	}
+
+	// Tokens cap at burst no matter how long the idle stretch.
+	clock = clock.Add(time.Hour)
+	if _, ok := b.take(3); ok {
+		t.Fatal("take(3) admitted from a burst-2 bucket")
+	}
+}
+
+func TestRateLimitAdmission(t *testing.T) {
+	clock := time.Unix(0, 0)
+	cfg := testConfig()
+	cfg.Now = func() time.Time { return clock }
+	reg := NewRegistry(nil, cfg)
+	c, err := reg.Create("t", Quota{RatePerSec: 1, Burst: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch of 2 drains the burst; the next search is rate-limited with
+	// the exact refill as the retry hint.
+	if err := c.AdmitSearch(2); err != nil {
+		t.Fatalf("batch within burst: %v", err)
+	}
+	c.ReleaseSearch(2)
+	err = c.AdmitSearch(1)
+	var re *RateLimitError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want *RateLimitError", err)
+	}
+	if re.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter %v, want 1s", re.RetryAfter)
+	}
+	clock = clock.Add(time.Second)
+	if err := c.AdmitSearch(1); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	c.ReleaseSearch(1)
+	if got := c.Counters().RateLimitedTotal; got != 1 {
+		t.Fatalf("rate_limited_total = %d, want 1", got)
+	}
+}
+
+func TestInFlightCapExactThreshold(t *testing.T) {
+	reg := NewRegistry(nil, testConfig())
+	c, err := reg.Create("t", Quota{MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdmitSearch(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdmitSearch(1); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly at the cap: the next admission (and any over-cap batch) is a
+	// BusyError that admits nothing.
+	err = c.AdmitSearch(1)
+	var be *BusyError
+	if !errors.As(err, &be) || be.Limit != 2 {
+		t.Fatalf("got %v, want *BusyError{Limit: 2}", err)
+	}
+	if got := c.InFlight(); got != 2 {
+		t.Fatalf("refused admission changed in-flight to %d", got)
+	}
+	c.ReleaseSearch(1)
+	if err := c.AdmitSearch(1); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	c.ReleaseSearch(2)
+	// A batch larger than the whole cap can never be admitted.
+	if err := c.AdmitSearch(3); err == nil {
+		t.Fatal("batch of 3 admitted against cap 2")
+	}
+	if got := c.Counters().ShedTotal; got != 4 {
+		// 1 refused single + 3 entries of the refused batch.
+		t.Fatalf("shed_total = %d, want 4", got)
+	}
+	if got := c.Counters().SearchesTotal; got != 3 {
+		t.Fatalf("searches_total = %d, want 3", got)
+	}
+}
+
+func TestDurableInsertAccounting(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := OpenRegistry(dir, nil, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	c, err := reg.Create("t", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert("a", []string{"abcd"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Bytes(); got != 4 {
+		t.Fatalf("bytes = %d, want 4", got)
+	}
+}

@@ -24,6 +24,20 @@ type Client struct {
 	base  string
 	http  *http.Client
 	retry RetryPolicy
+	// scope is the path-escaped collection name the data methods target;
+	// empty targets the legacy un-scoped routes (the default collection).
+	// See Collection.
+	scope string
+}
+
+// v1 resolves a data route against the client's collection scope:
+// unscoped c.v1("/search"), scoped "/v1/collections/{name}/search". The two
+// are byte-identical server-side, so scoping is purely a path prefix.
+func (c *Client) v1(p string) string {
+	if c.scope == "" {
+		return "/v1" + p
+	}
+	return "/v1/collections/" + c.scope + p
 }
 
 // RetryPolicy tunes the client's transient-failure handling.
@@ -77,7 +91,7 @@ func (c *Client) Search(query []string, k int) (*SearchResponse, error) {
 // SearchContext is Search with a caller-owned context.
 func (c *Client) SearchContext(ctx context.Context, query []string, k int) (*SearchResponse, error) {
 	var out SearchResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/search", SearchRequest{Query: query, K: k}, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.v1("/search"), SearchRequest{Query: query, K: k}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -95,7 +109,7 @@ func (c *Client) SearchBatch(queries [][]string, k int) (*BatchSearchResponse, e
 // SearchBatchContext is SearchBatch with a caller-owned context.
 func (c *Client) SearchBatchContext(ctx context.Context, queries [][]string, k int) (*BatchSearchResponse, error) {
 	var out BatchSearchResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/search/batch", BatchSearchRequest{Queries: queries, K: k}, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.v1("/search/batch"), BatchSearchRequest{Queries: queries, K: k}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -109,7 +123,7 @@ func (c *Client) Overlap(a, b []string) (*OverlapResponse, error) {
 // OverlapContext is Overlap with a caller-owned context.
 func (c *Client) OverlapContext(ctx context.Context, a, b []string) (*OverlapResponse, error) {
 	var out OverlapResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/overlap", OverlapRequest{A: a, B: b}, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.v1("/overlap"), OverlapRequest{A: a, B: b}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -127,7 +141,7 @@ func (c *Client) Insert(name string, elements []string) (*InsertResponse, error)
 // set (at-least-once) — name sets when that matters.
 func (c *Client) InsertContext(ctx context.Context, name string, elements []string) (*InsertResponse, error) {
 	var out InsertResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/sets", InsertRequest{Name: name, Elements: elements}, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.v1("/sets"), InsertRequest{Name: name, Elements: elements}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -143,7 +157,7 @@ func (c *Client) GetSet(name string) (*SetResponse, error) {
 // GetSetContext is GetSet with a caller-owned context.
 func (c *Client) GetSetContext(ctx context.Context, name string) (*SetResponse, error) {
 	var out SetResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/sets/"+url.PathEscape(name), nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, c.v1("/sets/"+url.PathEscape(name)), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -158,7 +172,7 @@ func (c *Client) Delete(name string) (*DeleteResponse, error) {
 // DeleteContext is Delete with a caller-owned context.
 func (c *Client) DeleteContext(ctx context.Context, name string) (*DeleteResponse, error) {
 	var out DeleteResponse
-	if err := c.do(ctx, http.MethodDelete, "/v1/sets/"+url.PathEscape(name), nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodDelete, c.v1("/sets/"+url.PathEscape(name)), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -182,7 +196,7 @@ func (c *Client) InfoContext(ctx context.Context) (*InfoResponse, error) {
 // files (read-only).
 func (c *Client) Scrub(ctx context.Context) (*ScrubResponse, error) {
 	var out ScrubResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/scrub", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.v1("/scrub"), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -192,7 +206,7 @@ func (c *Client) Scrub(ctx context.Context) (*ScrubResponse, error) {
 // degraded mode.
 func (c *Client) Repair(ctx context.Context) (*ScrubResponse, error) {
 	var out ScrubResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/repair", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.v1("/repair"), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+
+	"repro/internal/collection"
+)
+
+// Collection returns a client whose data methods (Search, SearchBatch,
+// Insert, GetSet, Delete, Overlap, Scrub, Repair) target the named
+// collection via the /v1/collections/{name}/... routes. The scoped client
+// shares the parent's HTTP client and retry policy; Info, Healthy, Ready
+// and the collection CRUD methods stay process-wide. Scoping to
+// collection.DefaultName hits the same engine as the un-scoped routes.
+func (c *Client) Collection(name string) *Client {
+	scoped := *c
+	scoped.scope = url.PathEscape(name)
+	return &scoped
+}
+
+// CreateCollection creates a named collection; a zero quota takes the
+// server's default. An error mentioning HTTP 409 means the name is taken.
+func (c *Client) CreateCollection(ctx context.Context, name string, q collection.Quota) (*CollectionInfo, error) {
+	var out CollectionInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/collections", CreateCollectionRequest{Name: name, Quota: q}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DropCollection drops the named collection and deletes its data. The
+// default collection cannot be dropped (HTTP 400).
+func (c *Client) DropCollection(ctx context.Context, name string) (*DropCollectionResponse, error) {
+	var out DropCollectionResponse
+	if err := c.do(ctx, http.MethodDelete, "/v1/collections/"+url.PathEscape(name), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Collections lists every collection with its quota and admission counters.
+func (c *Client) Collections(ctx context.Context) (*ListCollectionsResponse, error) {
+	var out ListCollectionsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/collections", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CollectionInfo fetches one collection's info (quota, counters, segment
+// layout); an error mentioning HTTP 404 means no such collection.
+func (c *Client) CollectionInfo(ctx context.Context, name string) (*CollectionInfo, error) {
+	var out CollectionInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/collections/"+url.PathEscape(name), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/segment"
+	"repro/internal/sets"
+)
+
+// registryFor builds a collection registry seeded with ds in the default
+// collection, mirroring managerFor but through the multi-tenant layer.
+func registryFor(ds *datagen.Dataset, cfg Config, now func() time.Time) *collection.Registry {
+	cfg = cfg.withDefaults()
+	return collection.NewRegistry(ds.Repo.Sets(), collection.Config{
+		Build: func(dict *sets.Dictionary) index.NeighborSource {
+			return index.NewDynamicExact(dict, ds.Model.Vector)
+		},
+		Opts: core.Options{
+			K:           cfg.K,
+			Alpha:       cfg.Alpha,
+			Partitions:  cfg.Partitions,
+			Workers:     cfg.Workers,
+			ExactScores: true,
+		}.WithDefaults(),
+		SegCfg: segment.Config{ForegroundCompaction: true},
+		Now:    now,
+	})
+}
+
+func testRegistryServer(t *testing.T, now func() time.Time) (*Server, *httptest.Server, *datagen.Dataset) {
+	t.Helper()
+	ds := datagen.GenerateDefault(datagen.Twitter, 0.02)
+	cfg := Config{K: 5, Alpha: 0.8, Partitions: 2, Workers: 2}
+	srv := NewRegistry(registryFor(ds, cfg, now), cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, ds
+}
+
+// postJSON issues one POST with no client retries and decodes the response
+// body into a generic map, so tests can assert structured error fields.
+func postJSON(t *testing.T, url, body string) (int, http.Header, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header, m
+}
+
+func TestCollectionCRUDOverHTTP(t *testing.T) {
+	_, ts, _ := testRegistryServer(t, nil)
+
+	// Create answers 201 with the new collection's info.
+	code, _, m := postJSON(t, ts.URL+"/v1/collections", `{"name":"tenant-a","quota":{"max_sets":5}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v, want 201", code, m)
+	}
+	if m["name"] != "tenant-a" {
+		t.Fatalf("created info %v", m)
+	}
+
+	// Duplicate name: 409 with a stable machine code.
+	code, _, m = postJSON(t, ts.URL+"/v1/collections", `{"name":"tenant-a"}`)
+	if code != http.StatusConflict || m["code"] != "collection_exists" {
+		t.Fatalf("duplicate create = %d %v, want 409 collection_exists", code, m)
+	}
+
+	// Invalid name: 400.
+	code, _, m = postJSON(t, ts.URL+"/v1/collections", `{"name":"bad name"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid name = %d %v, want 400", code, m)
+	}
+
+	// Unknown collection on a scoped data route: 404 with the code.
+	code, _, m = postJSON(t, ts.URL+"/v1/collections/ghost/search", `{"query":["x"]}`)
+	if code != http.StatusNotFound || m["code"] != "collection_not_found" {
+		t.Fatalf("scoped search on ghost = %d %v, want 404 collection_not_found", code, m)
+	}
+
+	// The default collection cannot be dropped; unknown names 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/collections/default", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("drop default = %d, want 400", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/collections/ghost", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("drop ghost = %d, want 404", resp.StatusCode)
+	}
+
+	// List: default first, then the created tenant; /v1/info mirrors it.
+	c := NewClient(ts.URL, nil)
+	list, err := c.Collections(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Collections) != 2 || list.Collections[0].Name != "default" || list.Collections[1].Name != "tenant-a" {
+		t.Fatalf("list = %+v", list.Collections)
+	}
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Collections) != 2 {
+		t.Fatalf("info.collections = %+v", info.Collections)
+	}
+
+	// Drop through the client; the scoped routes stop resolving.
+	if _, err := c.DropCollection(context.Background(), "tenant-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CollectionInfo(context.Background(), "tenant-a"); err == nil {
+		t.Fatal("dropped collection still served info")
+	}
+}
+
+func TestScopedDefaultMatchesLegacy(t *testing.T) {
+	_, ts, ds := testRegistryServer(t, nil)
+	c := NewClient(ts.URL, nil)
+	scoped := c.Collection("default")
+	for i := 0; i < 5; i++ {
+		q := ds.Repo.Set(i).Elements
+		legacy, err := c.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := scoped.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stats carry wall-clock phase timings; the results must match
+		// exactly.
+		if !reflect.DeepEqual(legacy.Results, got.Results) {
+			t.Fatalf("query %d: legacy %+v != scoped %+v", i, legacy.Results, got.Results)
+		}
+	}
+}
+
+func TestQuotaRejectionOverHTTP(t *testing.T) {
+	_, ts, _ := testRegistryServer(t, nil)
+	code, _, _ := postJSON(t, ts.URL+"/v1/collections", `{"name":"small","quota":{"max_sets":1}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	code, _, _ = postJSON(t, ts.URL+"/v1/collections/small/sets", `{"name":"a","elements":["x"]}`)
+	if code != http.StatusCreated {
+		t.Fatalf("first insert = %d, want 201", code)
+	}
+	code, _, m := postJSON(t, ts.URL+"/v1/collections/small/sets", `{"name":"b","elements":["y"]}`)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-quota insert = %d %v, want 413", code, m)
+	}
+	if m["code"] != "quota_exceeded" || m["resource"] != "sets" || m["limit"] != float64(1) {
+		t.Fatalf("quota error body %v", m)
+	}
+	// The refusal is visible in the per-collection counters.
+	c := NewClient(ts.URL, nil)
+	ci, err := c.CollectionInfo(context.Background(), "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Counters.QuotaRejectedTotal != 1 || ci.Sets != 1 {
+		t.Fatalf("counters %+v sets %d, want 1 rejection and 1 set", ci.Counters, ci.Sets)
+	}
+}
+
+func TestRateLimitOverHTTPWithInjectedClock(t *testing.T) {
+	clock := time.Unix(0, 0)
+	_, ts, _ := testRegistryServer(t, func() time.Time { return clock })
+	code, _, _ := postJSON(t, ts.URL+"/v1/collections", `{"name":"slow","quota":{"rate_per_sec":1,"burst":1}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	url := ts.URL + "/v1/collections/slow/search"
+	if code, _, m := postJSON(t, url, `{"query":["x"]}`); code != http.StatusOK {
+		t.Fatalf("first search = %d %v, want 200", code, m)
+	}
+	code, hdr, m := postJSON(t, url, `{"query":["x"]}`)
+	if code != http.StatusTooManyRequests || m["code"] != "rate_limited" {
+		t.Fatalf("rate-limited search = %d %v, want 429 rate_limited", code, m)
+	}
+	if ra := hdr.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want a positive seconds hint", ra)
+	}
+	// Advance the injected clock one refill period: admitted again, and the
+	// refusal stays counted.
+	clock = clock.Add(time.Second)
+	if code, _, m := postJSON(t, url, `{"query":["x"]}`); code != http.StatusOK {
+		t.Fatalf("search after refill = %d %v, want 200", code, m)
+	}
+	c := NewClient(ts.URL, nil)
+	ci, err := c.CollectionInfo(context.Background(), "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Counters.RateLimitedTotal != 1 || ci.Counters.SearchesTotal != 2 {
+		t.Fatalf("counters %+v, want 1 rate-limited and 2 served", ci.Counters)
+	}
+}
+
+func TestTenantBusyOverHTTP(t *testing.T) {
+	_, ts, _ := testRegistryServer(t, nil)
+	code, _, _ := postJSON(t, ts.URL+"/v1/collections", `{"name":"narrow","quota":{"max_in_flight":1}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	// A batch of two must take both in-flight slots at once, so against a
+	// cap of one it is refused deterministically — no timing involved.
+	code, hdr, m := postJSON(t, ts.URL+"/v1/collections/narrow/search/batch", `{"queries":[["x"],["y"]]}`)
+	if code != http.StatusTooManyRequests || m["code"] != "tenant_busy" {
+		t.Fatalf("over-cap batch = %d %v, want 429 tenant_busy", code, m)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("tenant_busy response missing Retry-After")
+	}
+	// A single search fits the cap.
+	if code, _, m := postJSON(t, ts.URL+"/v1/collections/narrow/search", `{"query":["x"]}`); code != http.StatusOK {
+		t.Fatalf("within-cap search = %d %v, want 200", code, m)
+	}
+}
+
+func TestLatencyShedDeterministic(t *testing.T) {
+	ds := datagen.GenerateDefault(datagen.Twitter, 0.02)
+	cfg := Config{K: 5, Alpha: 0.8, Partitions: 2, Workers: 2, ShedLatencyP99: 10 * time.Millisecond}
+	srv := NewRegistry(registryFor(ds, cfg, nil), cfg)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Plant the exact overload signature the gate reads: a backlog
+	// (queued > 0) and a latency ring whose p99 exceeds the threshold.
+	for i := range srv.pool.lat {
+		srv.pool.lat[i].Store(int64(50 * time.Millisecond))
+	}
+	srv.pool.pos.Store(latRingSize)
+	srv.pool.queued.Add(1)
+
+	code, hdr, _ := postJSON(t, ts.URL+"/v1/search", `{"query":["x"]}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("latency-shed search = %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("latency shed missing Retry-After")
+	}
+	if got := srv.pool.sheds.Load(); got != 1 {
+		t.Fatalf("sheds = %d, want 1", got)
+	}
+
+	// With no backlog the same slow percentiles do NOT shed: an idle server
+	// with a bad history still serves.
+	srv.pool.queued.Add(-1)
+	if code, _, m := postJSON(t, ts.URL+"/v1/search", `{"query":["x"]}`); code != http.StatusOK {
+		t.Fatalf("idle search after backlog drained = %d %v, want 200", code, m)
+	}
+}
+
+func TestClientQuotaErrorsNotRetried(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: "quota", Code: "quota_exceeded"})
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	if _, err := c.Insert("a", []string{"x"}); err == nil {
+		t.Fatal("quota refusal reported as success")
+	}
+	// 413 is a permanent condition: retrying cannot help and would hide the
+	// quota signal from the caller.
+	if hits != 1 {
+		t.Fatalf("client retried a 413 %d times", hits-1)
+	}
+}

@@ -16,10 +16,23 @@
 //	GET    /v1/info                                             → collection + segment + throughput metadata
 //	GET    /healthz                                             → liveness
 //
+// Multi-tenant surface (DESIGN.md §14): one process serves N named
+// collections through a collection.Registry. The un-scoped routes above are
+// aliases for the default collection — same handler bodies, byte-identical
+// responses — while named collections are reached via:
+//
+//	GET    /v1/collections                              → list collections with quotas + counters
+//	POST   /v1/collections  {"name": "...", "quota": …} → create a collection
+//	GET    /v1/collections/{collection}                 → one collection's info
+//	DELETE /v1/collections/{collection}                 → drop a collection
+//	*      /v1/collections/{collection}/search|search/batch|overlap|sets|sets/{name}|scrub|repair
+//
 // Searches run through a bounded worker pool (DESIGN.md §9): at most
 // Config.SearchWorkers queries execute at once, the rest queue; every query
 // gets its own timeout, and /v1/info exposes queue depth and latency
 // percentiles so operators can see the pool saturating before clients do.
+// Per-collection quotas and rate limits (413/429 with structured errors)
+// are enforced at admission, before a request can touch the shared pool.
 package server
 
 import (
@@ -32,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/matching"
@@ -72,6 +86,12 @@ type Config struct {
 	// admission control that keeps the p99 of admitted queries bounded
 	// under overload. Default: 8 × SearchWorkers.
 	MaxQueueDepth int
+	// ShedLatencyP99 sheds new searches (429 + Retry-After) whenever the
+	// pool's recent p99 latency exceeds this bound while queries are
+	// queueing — the latency-percentile half of admission control:
+	// queue-depth shedding caps how many wait, this caps how long the tail
+	// already waits. 0 (the default) disables it.
+	ShedLatencyP99 time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -93,9 +113,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the HTTP handler set around one segmented collection.
+// Server is the HTTP handler set around a registry of collections. The
+// worker pool is shared across all collections — the fairness and
+// admission knobs live on the collections themselves.
 type Server struct {
-	cfg   Config
+	cfg Config
+	reg *collection.Registry
+	def *collection.Collection
+	// mgr is the default collection's manager — the engine the legacy
+	// un-scoped routes serve.
 	mgr   *segment.Manager
 	mux   *http.ServeMux
 	pool  *workerPool
@@ -122,21 +148,32 @@ func (s *Server) recordStreamStats(stats *core.Stats) {
 	s.streamRetrieved.Add(int64(stats.StreamRetrieved))
 }
 
-// New builds a server around a segment manager (see NewManager in the
-// segment package for constructing one from a seed collection and source
-// builder). The manager's options should carry the same K/Alpha as cfg;
-// requests with a non-default k get per-request engines over the shared
-// immutable snapshot. The HTTP API guarantees exact scores, so the manager
-// must be built with core.Options.ExactScores — New panics otherwise
-// (a construction-time misconfiguration, not a runtime condition).
+// New builds a single-collection server around a segment manager (see
+// NewManager in the segment package for constructing one from a seed
+// collection and source builder) — it wraps the manager in an in-memory
+// registry as the unlimited default collection, so every pre-multi-tenant
+// caller keeps working unchanged. The manager's options should carry the
+// same K/Alpha as cfg; requests with a non-default k get per-request
+// engines over the shared immutable snapshot.
 func New(mgr *segment.Manager, cfg Config) *Server {
-	if !mgr.Options().ExactScores {
+	return NewRegistry(collection.Wrap(mgr), cfg)
+}
+
+// NewRegistry builds a server over a collection registry. The HTTP API
+// guarantees exact scores, so the registry's collections must be built
+// with core.Options.ExactScores — NewRegistry panics otherwise (a
+// construction-time misconfiguration, not a runtime condition).
+func NewRegistry(reg *collection.Registry, cfg Config) *Server {
+	def := reg.Default()
+	if !def.Manager().Options().ExactScores {
 		panic("server: segment manager must be built with core.Options.ExactScores — /v1/search promises exact scores")
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		mgr:   mgr,
+		reg:   reg,
+		def:   def,
+		mgr:   def.Manager(),
 		mux:   http.NewServeMux(),
 		pool:  newWorkerPool(cfg.SearchWorkers, cfg.MaxQueueDepth),
 		start: time.Now(),
@@ -152,8 +189,23 @@ func New(mgr *segment.Manager, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/collections", s.handleListCollections)
+	s.mux.HandleFunc("POST /v1/collections", s.handleCreateCollection)
+	s.mux.HandleFunc("GET /v1/collections/{collection}", s.handleGetCollection)
+	s.mux.HandleFunc("DELETE /v1/collections/{collection}", s.handleDropCollection)
+	s.mux.HandleFunc("POST /v1/collections/{collection}/search", s.handleScopedSearch)
+	s.mux.HandleFunc("POST /v1/collections/{collection}/search/batch", s.handleScopedSearchBatch)
+	s.mux.HandleFunc("POST /v1/collections/{collection}/overlap", s.handleScopedOverlap)
+	s.mux.HandleFunc("POST /v1/collections/{collection}/sets", s.handleScopedInsert)
+	s.mux.HandleFunc("GET /v1/collections/{collection}/sets/{name}", s.handleScopedGetSet)
+	s.mux.HandleFunc("DELETE /v1/collections/{collection}/sets/{name}", s.handleScopedDelete)
+	s.mux.HandleFunc("POST /v1/collections/{collection}/scrub", s.handleScopedScrub)
+	s.mux.HandleFunc("POST /v1/collections/{collection}/repair", s.handleScopedRepair)
 	return s
 }
+
+// Registry returns the server's collection registry.
+func (s *Server) Registry() *collection.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler, wrapping every request in panic
 // recovery: one query tripping a bug answers 500 (and bumps the panic
@@ -212,6 +264,26 @@ func (s *Server) shed(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	httpError(w, http.StatusTooManyRequests,
 		fmt.Sprintf("overloaded: %d queries queued on %d workers", s.pool.queued.Load(), s.pool.size()))
+}
+
+// admitGlobal runs the pool-wide admission checks: the queue-depth bound,
+// then (when configured) the latency-percentile bound — if queries are
+// already queueing and the recent p99 exceeds Config.ShedLatencyP99, new
+// arrivals are shed before they deepen the tail. Writes the 429 itself on
+// refusal.
+func (s *Server) admitGlobal(w http.ResponseWriter) bool {
+	if !s.pool.admit() {
+		s.shed(w)
+		return false
+	}
+	if s.cfg.ShedLatencyP99 > 0 && s.pool.queued.Load() > 0 {
+		if _, _, p99 := s.pool.percentiles(); p99 > s.cfg.ShedLatencyP99 {
+			s.pool.sheds.Add(1)
+			s.shed(w)
+			return false
+		}
+	}
+	return true
 }
 
 // SearchRequest is the body of POST /v1/search.
@@ -339,6 +411,10 @@ func buildSearchResponse(results []segment.Result, stats *core.Stats) SearchResp
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.serveSearch(w, r, s.def)
+}
+
+func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, col *collection.Collection) {
 	var req SearchRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
@@ -351,12 +427,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission control first: a full queue sheds the query now (429 +
-	// Retry-After) rather than queueing it into a timeout.
-	if !s.pool.admit() {
-		s.shed(w)
+	// Admission control first: a full queue (or a blown latency target)
+	// sheds the query now (429 + Retry-After) rather than queueing it into
+	// a timeout, and a tenant over its rate limit or in-flight cap is
+	// refused before it can touch the shared pool.
+	if !s.admitGlobal(w) {
 		return
 	}
+	if !s.admitTenant(w, col, 1) {
+		return
+	}
+	defer col.ReleaseSearch(1)
 	// One pool slot per query: concurrent requests beyond the pool size
 	// queue here instead of oversubscribing the CPU. The per-query deadline
 	// spans the queue wait and the search.
@@ -367,7 +448,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	results, stats, err := s.mgr.Search(qctx, req.Query, k)
+	results, stats, err := col.Manager().Search(qctx, req.Query, k)
 	s.pool.release(time.Since(start))
 	if err != nil {
 		s.searchFailed(w, err)
@@ -399,6 +480,10 @@ type BatchSearchResponse struct {
 }
 
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	s.serveSearchBatch(w, r, s.def)
+}
+
+func (s *Server) serveSearchBatch(w http.ResponseWriter, r *http.Request, col *collection.Collection) {
 	var req BatchSearchRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
@@ -422,11 +507,15 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Admission control sheds the whole batch up front — admitting a batch
 	// the queue cannot absorb would just spread the overload across its
-	// entries as timeouts.
-	if !s.pool.admit() {
-		s.shed(w)
+	// entries as timeouts. The tenant checks charge the batch all its
+	// entries at once for the same reason.
+	if !s.admitGlobal(w) {
 		return
 	}
+	if !s.admitTenant(w, col, len(req.Queries)) {
+		return
+	}
+	defer col.ReleaseSearch(len(req.Queries))
 
 	// One view for the whole batch: every query sees the same collection
 	// state, and per-query results are byte-identical to single searches
@@ -436,7 +525,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	// entry individually: an expired entry reports its error in place and
 	// the rest of the batch completes; only the client hanging up abandons
 	// the whole batch.
-	v := s.mgr.AcquireView(k)
+	v := col.Manager().AcquireView(k)
 	resps := make([]BatchSearchEntry, len(req.Queries))
 	var wg sync.WaitGroup
 	for i := range req.Queries {
@@ -490,6 +579,10 @@ type InsertResponse struct {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.serveInsert(w, r, s.def)
+}
+
+func (s *Server) serveInsert(w http.ResponseWriter, r *http.Request, col *collection.Collection) {
 	var req InsertRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
@@ -502,9 +595,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("set has %d elements, limit %d", len(req.Elements), s.cfg.MaxQueryElements))
 		return
 	}
-	id, err := s.mgr.Insert(req.Name, req.Elements)
+	id, err := col.Insert(req.Name, req.Elements)
 	var durErr *segment.DurabilityError
 	if err != nil && !errors.As(err, &durErr) {
+		// An insert over the collection's sets/bytes quota answers 413 with
+		// the structured error body; nothing was applied.
+		if writeAdmissionError(w, err) {
+			return
+		}
 		if errors.Is(err, segment.ErrImmutable) {
 			httpError(w, http.StatusConflict, err.Error())
 			return
@@ -514,7 +612,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	// A DurabilityError means the insert IS applied and WAL-logged (only a
 	// follow-on fsync/checkpoint failed), so the client gets its handle.
-	writeJSON(w, http.StatusCreated, InsertResponse{SetID: int(id), Sets: s.mgr.Len()})
+	writeJSON(w, http.StatusCreated, InsertResponse{SetID: int(id), Sets: col.Manager().Len()})
 }
 
 // SetResponse is the body of GET /v1/sets/{name}: one live set.
@@ -525,12 +623,16 @@ type SetResponse struct {
 }
 
 func (s *Server) handleGetSet(w http.ResponseWriter, r *http.Request) {
+	s.serveGetSet(w, r, s.def)
+}
+
+func (s *Server) serveGetSet(w http.ResponseWriter, r *http.Request, col *collection.Collection) {
 	name := r.PathValue("name")
 	if name == "" {
 		httpError(w, http.StatusBadRequest, "set name missing")
 		return
 	}
-	rec, ok := s.mgr.SetByName(name)
+	rec, ok := col.Manager().SetByName(name)
 	if !ok {
 		// Tombstoned and never-inserted names answer alike: not live.
 		httpError(w, http.StatusNotFound, fmt.Sprintf("no live set named %q", name))
@@ -546,12 +648,16 @@ type DeleteResponse struct {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.serveDelete(w, r, s.def)
+}
+
+func (s *Server) serveDelete(w http.ResponseWriter, r *http.Request, col *collection.Collection) {
 	name := r.PathValue("name")
 	if name == "" {
 		httpError(w, http.StatusBadRequest, "set name missing")
 		return
 	}
-	deleted, err := s.mgr.Delete(name)
+	deleted, err := col.Delete(name)
 	var durErr *segment.DurabilityError
 	if err != nil && !errors.As(err, &durErr) {
 		// The delete was not applied (WAL append failed or engine closed).
@@ -562,7 +668,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("no live set named %q", name))
 		return
 	}
-	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: true, Sets: s.mgr.Len()})
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: true, Sets: col.Manager().Len()})
 }
 
 // OverlapRequest is the body of POST /v1/overlap.
@@ -579,6 +685,10 @@ type OverlapResponse struct {
 }
 
 func (s *Server) handleOverlap(w http.ResponseWriter, r *http.Request) {
+	s.serveOverlap(w, r, s.def)
+}
+
+func (s *Server) serveOverlap(w http.ResponseWriter, r *http.Request, col *collection.Collection) {
 	var req OverlapRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
@@ -591,7 +701,7 @@ func (s *Server) handleOverlap(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "set too large")
 		return
 	}
-	sem, greedy, vanilla := pairwise(req.A, req.B, s.mgr.Source(), s.cfg.Alpha)
+	sem, greedy, vanilla := pairwise(req.A, req.B, col.Manager().Source(), s.cfg.Alpha)
 	writeJSON(w, http.StatusOK, OverlapResponse{Semantic: sem, Vanilla: vanilla, Greedy: greedy})
 }
 
@@ -652,6 +762,11 @@ type InfoResponse struct {
 	// Resilience reports degraded mode, quarantined files, and the shed/
 	// panic counters (DESIGN.md §11).
 	Resilience ResilienceInfo `json:"resilience"`
+	// Collections reports every collection served by this process (the
+	// default first) with its quota and admission counters (DESIGN.md §14).
+	// The top-level fields above describe the default collection, as they
+	// always have.
+	Collections []CollectionInfo `json:"collections"`
 }
 
 // ResilienceInfo is the failure-handling section of /v1/info.
@@ -728,10 +843,20 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			LatencyP95US:   p95.Microseconds(),
 			LatencyP99US:   p99.Microseconds(),
 		},
-		SimCache:   SimCacheInfo{CacheStats: cs, HitRate: cs.HitRate()},
-		LazyStream: s.lazyStreamInfo(),
-		Resilience: s.resilienceInfo(),
+		SimCache:    SimCacheInfo{CacheStats: cs, HitRate: cs.HitRate()},
+		LazyStream:  s.lazyStreamInfo(),
+		Resilience:  s.resilienceInfo(),
+		Collections: s.collectionsInfo(),
 	})
+}
+
+func (s *Server) collectionsInfo() []CollectionInfo {
+	cols := s.reg.List()
+	out := make([]CollectionInfo, len(cols))
+	for i, c := range cols {
+		out[i] = collectionInfoOf(c)
+	}
+	return out
 }
 
 func (s *Server) resilienceInfo() ResilienceInfo {
@@ -802,12 +927,35 @@ type ReadyResponse struct {
 // is always ready — the "not ready yet" half of the protocol is served by
 // BootHandler while recovery still runs (see Swapper).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, ReadyResponse{Ready: true, Degraded: s.mgr.Health().Degraded})
+	// Degraded if ANY collection is degraded — a single-collection process
+	// reports exactly what it always did, a multi-tenant one surfaces the
+	// worst tenant (per-collection detail is in /v1/info).
+	degraded := false
+	for _, c := range s.reg.List() {
+		if c.Manager().Health().Degraded {
+			degraded = true
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Ready: true, Degraded: degraded})
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. The structured fields are only set
+// by the multi-tenant admission errors (quota, rate limit, in-flight cap,
+// unknown collection); with all of them empty the envelope marshals to the
+// pre-multi-tenant {"error": "..."} byte-identically, which is what keeps
+// the legacy routes' error responses unchanged.
 type errorBody struct {
 	Error string `json:"error"`
+	// Code is a stable machine-readable discriminator: quota_exceeded,
+	// rate_limited, tenant_busy, collection_not_found, collection_exists.
+	Code       string `json:"code,omitempty"`
+	Collection string `json:"collection,omitempty"`
+	// Resource ("sets" or "bytes"), Limit and Used detail a quota_exceeded
+	// refusal.
+	Resource string `json:"resource,omitempty"`
+	Limit    int64  `json:"limit,omitempty"`
+	Used     int64  `json:"used,omitempty"`
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {

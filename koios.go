@@ -3,6 +3,7 @@ package koios
 import (
 	"context"
 
+	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/segment"
@@ -142,7 +143,11 @@ type CacheStats = sim.CacheStats
 // and background compaction mutate the collection — each search runs
 // against a consistent snapshot and never blocks on writers.
 type Engine struct {
-	mgr          *segment.Manager
+	mgr *segment.Manager
+	// col is set on engines handed out by a Registry: mutations route
+	// through the collection so its quota accounting stays consistent.
+	// Standalone engines (New/Open) leave it nil.
+	col          *collection.Collection
 	alpha        float64
 	batchWorkers int
 }
@@ -285,8 +290,13 @@ func (e *Engine) SimCacheStats() CacheStats { return e.mgr.SimCacheStats() }
 // next integer). Inserting a name that is already live replaces the old
 // set. The set is searchable as soon as Insert returns; concurrent
 // searches keep their snapshot. Engines built with NewWithSource return
-// ErrImmutable.
+// ErrImmutable; engines from a Registry additionally enforce their
+// collection's quota (*QuotaError, nothing applied).
 func (e *Engine) Insert(s Set) (int, error) {
+	if e.col != nil {
+		id, err := e.col.Insert(s.Name, s.Elements)
+		return int(id), err
+	}
 	id, err := e.mgr.Insert(s.Name, s.Elements)
 	return int(id), err
 }
@@ -296,7 +306,12 @@ func (e *Engine) Insert(s Set) (int, error) {
 // as Delete returns; its storage is reclaimed by background compaction.
 // On durable engines the delete is WAL-logged before it is applied; an
 // error other than *DurabilityError means it was not applied.
-func (e *Engine) Delete(name string) (bool, error) { return e.mgr.Delete(name) }
+func (e *Engine) Delete(name string) (bool, error) {
+	if e.col != nil {
+		return e.col.Delete(name)
+	}
+	return e.mgr.Delete(name)
+}
 
 // Compact synchronously merges all sealed segments, reclaiming tombstoned
 // sets. Searches proceed concurrently; mutations wait. On durable engines
