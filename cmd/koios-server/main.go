@@ -27,6 +27,19 @@
 // flags set the quota applied to collections created without one
 // (0 = unlimited); -shed-p99 adds latency-driven load shedding.
 //
+// Background scheduling & fairness (DESIGN.md §15): -bg-workers > 0 moves
+// every collection's compactions and checkpoints into one coordinated
+// scheduler — at most that many background ops run at once across the
+// whole process, shared by weighted fair scheduling (collection quota
+// weights, -default-weight for the rest), with retry-with-backoff on
+// failures and deferral while search latency is blown. Search admission
+// then also runs deficit-round-robin weighted fair queueing across
+// collections, and a collection whose maintenance backlog crosses the
+// -slowdown-sealed / -stall-sealed (or WAL-volume) thresholds has inserts
+// refused with a typed 503 maintenance_backlog + Retry-After instead of
+// silently slowing down. With -bg-workers 0 (the default) nothing
+// changes: collections self-maintain and writes never stall.
+//
 //	koios-server -dataset opendata -scale 0.1 -addr :7411
 //	koios-server -data wdc.koios.gz -addr :7411
 //	koios-server -dataset twitter -scale 0.1 -dir ./koios-data
@@ -96,6 +109,12 @@ func main() {
 		defQPS         = flag.Float64("default-qps", 0, "default per-collection search rate limit in queries/sec (0 = unlimited)")
 		defBurst       = flag.Int("default-burst", 0, "default rate-limit burst (0 = qps rounded up)")
 		defMaxInFlight = flag.Int64("default-max-inflight", 0, "default per-collection concurrent-search cap (0 = unlimited)")
+		defWeight      = flag.Int("default-weight", 0, "default per-collection fair-share weight for search scheduling and background maintenance (0 = 1)")
+
+		bgWorkers     = flag.Int("bg-workers", 0, "background maintenance workers shared across ALL collections: compactions and checkpoints run through one coordinated scheduler with weighted fair sharing and write stalls (0 = legacy per-collection self-maintenance, writes never stall)")
+		checkpointWAL = flag.Int64("checkpoint-wal", 0, "un-checkpointed WAL bytes at which the scheduler checkpoints a collection (0 = 1 MiB; needs -bg-workers)")
+		slowSealed    = flag.Int("slowdown-sealed", 0, "sealed segments at which a collection's inserts start being refused with 503 maintenance_backlog (0 = 4 × -max-segments; needs -bg-workers)")
+		stallSealed   = flag.Int("stall-sealed", 0, "sealed segments at which a collection's inserts are fully stalled until maintenance drains (0 = 8 × -max-segments; needs -bg-workers)")
 	)
 	flag.Parse()
 
@@ -127,6 +146,13 @@ func main() {
 			RatePerSec:  *defQPS,
 			Burst:       *defBurst,
 			MaxInFlight: *defMaxInFlight,
+			Weight:      *defWeight,
+		},
+		collection.MaintenanceConfig{
+			Workers:            *bgWorkers,
+			CheckpointWALBytes: *checkpointWAL,
+			SlowdownSealed:     *slowSealed,
+			StallSealed:        *stallSealed,
 		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -187,7 +213,7 @@ func main() {
 	}
 }
 
-func loadRegistry(path, kind string, scale float64, dir string, opts core.Options, segCfg segment.Config, defQuota collection.Quota) (*collection.Registry, error) {
+func loadRegistry(path, kind string, scale float64, dir string, opts core.Options, segCfg segment.Config, defQuota collection.Quota, maint collection.MaintenanceConfig) (*collection.Registry, error) {
 	var (
 		seed []sets.Set
 		vec  func(string) ([]float32, bool)
@@ -222,6 +248,7 @@ func loadRegistry(path, kind string, scale float64, dir string, opts core.Option
 		Opts:         opts.WithDefaults(),
 		SegCfg:       segCfg,
 		DefaultQuota: defQuota,
+		Maintenance:  maint,
 	}
 	if dir == "" {
 		return collection.NewRegistry(seed, regCfg), nil

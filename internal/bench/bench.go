@@ -97,7 +97,7 @@ func Experiments() []string {
 		"fig5a", "fig5bc", "fig5d", "fig6a", "fig6bc", "fig6d",
 		"fig7a", "fig7b", "fig7c", "fig7d", "fig8",
 		"silkmoth", "ablation", "mixed", "recovery", "throughput",
-		"lazystream", "chaos", "coldstart", "multitenant",
+		"lazystream", "chaos", "coldstart", "multitenant", "fairness",
 	}
 }
 
@@ -164,6 +164,8 @@ func (r *Runner) Run(exp string) error {
 		return r.ColdStart()
 	case "multitenant":
 		return r.MultiTenant()
+	case "fairness":
+		return r.Fairness()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (want one of %v)", exp, Experiments())
 	}

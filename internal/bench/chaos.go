@@ -40,8 +40,8 @@ func (r *Runner) Chaos() error {
 	if err != nil {
 		return fmt.Errorf("bench: chaos divergence: %w", err)
 	}
-	r.printf("crashes=%d corruptions=%d full_recoveries=%d degraded_recoveries=%d quarantined_files=%d repairs=%d\n",
-		rep.Crashes, rep.Corruptions, rep.FullRecoveries, rep.DegradedRecoveries, rep.QuarantinedFiles, rep.Repairs)
+	r.printf("crashes=%d corruptions=%d sched_rounds=%d sched_retries=%d full_recoveries=%d degraded_recoveries=%d quarantined_files=%d repairs=%d\n",
+		rep.Crashes, rep.Corruptions, rep.SchedRounds, rep.SchedRetries, rep.FullRecoveries, rep.DegradedRecoveries, rep.QuarantinedFiles, rep.Repairs)
 	r.printf("divergence: none\n")
 
 	if err := r.chaosServingSmoke(); err != nil {

@@ -58,6 +58,11 @@ type Report struct {
 	Iters       int // injections performed
 	Crashes     int // crash-mode iterations
 	Corruptions int // corruption-mode iterations
+	SchedRounds int // scheduler-fault iterations (transient background failures)
+	// SchedRetries totals the scheduler retries observed across all
+	// scheduler-fault iterations — each injected background failure must
+	// show up here or it was silently swallowed.
+	SchedRetries int
 	// FullRecoveries counts reopens byte-identical to the reference;
 	// DegradedRecoveries counts reopens that legally quarantined damage.
 	FullRecoveries     int
@@ -203,12 +208,16 @@ func Run(cfg Config) (Report, error) {
 	for i := 0; i < cfg.Iters; i++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 		var err error
-		if rng.Float64() < 0.6 {
+		switch r := rng.Float64(); {
+		case r < 0.5:
 			h.rep.Crashes++
 			err = h.crashIteration(rng)
-		} else {
+		case r < 0.8:
 			h.rep.Corruptions++
 			err = h.corruptionIteration(rng)
+		default:
+			h.rep.SchedRounds++
+			err = h.schedIteration(rng)
 		}
 		if err != nil {
 			return h.rep, fmt.Errorf("chaos: iteration %d (seed %d): %w", i, cfg.Seed, err)

@@ -16,8 +16,11 @@ func TestChaosSmoke(t *testing.T) {
 	if rep.Iters != iters {
 		t.Fatalf("completed %d/%d iterations", rep.Iters, iters)
 	}
-	if rep.Crashes == 0 || rep.Corruptions == 0 {
+	if rep.Crashes == 0 || rep.Corruptions == 0 || rep.SchedRounds == 0 {
 		t.Fatalf("sweep skipped a mode: %+v", rep)
+	}
+	if rep.SchedRetries == 0 {
+		t.Fatalf("scheduler-fault rounds ran but no retry was observed: %+v", rep)
 	}
 	if rep.FullRecoveries == 0 {
 		t.Fatalf("no full recoveries at all: %+v", rep)

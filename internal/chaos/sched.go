@@ -1,0 +1,179 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"syscall"
+
+	"repro/internal/sched"
+	"repro/internal/segment"
+	"repro/internal/store"
+)
+
+// errNoSpace is the realistic transient flavor: a background op hitting a
+// momentarily full disk.
+var errNoSpace error = syscall.ENOSPC
+
+// Scheduler-fault mode (ISSUE 10 satellite): maintenance moved out of the
+// write path and into the coordinated scheduler, so the scheduler's
+// retry-with-backoff loop is now load-bearing for durability — a compaction
+// or checkpoint that fails transiently (ENOSPC, a flaky write) must be
+// retried until the backlog drains, and the drained state must be
+// byte-identical to the acknowledged operations. schedIteration injects
+// one-shot faults that fire only during scheduler-driven background ops
+// (the foreground script runs before any fault is armed) and asserts:
+//
+//   - the scheduler observed at least one failure and retried it
+//     (Stats().RetriesTotal > 0),
+//   - the backlog converges to zero despite the faults,
+//   - the converged state and a subsequent clean reopen both match the
+//     oracle exactly, with no degraded flag — transient background
+//     failures must never corrupt or silently lose acknowledged writes.
+
+// schedTarget adapts one manager to sched.Target with a minimal policy:
+// compact past a sealed-segment bound, otherwise checkpoint any WAL bytes,
+// memtable rows, or unpersisted segments. Score is zero exactly when Run
+// has nothing to do, so a drained backlog quiesces the scheduler.
+type schedTarget struct {
+	m         *segment.Manager
+	compactAt int
+}
+
+func (t *schedTarget) Score() float64 {
+	d := t.m.MaintenanceDebt()
+	var s float64
+	if d.SealedSegments > t.compactAt {
+		s += float64(d.SealedSegments - t.compactAt)
+	}
+	if d.WALBytes > 0 || d.MemtableSets > 0 || d.UnpersistedSegments > 0 {
+		s++
+	}
+	return s
+}
+
+func (t *schedTarget) Run(context.Context) error {
+	d := t.m.MaintenanceDebt()
+	if d.SealedSegments > t.compactAt {
+		return t.m.Compact()
+	}
+	return t.m.Checkpoint()
+}
+
+func (t *schedTarget) drained() bool { return t.Score() == 0 }
+
+// schedIteration runs one scheduler-fault injection round.
+func (h *harness) schedIteration(rng *rand.Rand) error {
+	dir, err := os.MkdirTemp("", "koios-chaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	ffs := store.NewFaultFS(nil)
+	cfg := h.config(rng, ffs)
+	cfg.ExternalMaintenance = true // debt accrues for the scheduler, not the write path
+	m, err := segment.Open(dir, nil, h.builder(), h.opts, cfg)
+	if err != nil {
+		return fmt.Errorf("clean open: %w", err)
+	}
+
+	// Foreground phase, fault-free: only inserts and deletes — maintenance
+	// is the scheduler's job now. Everything is acked.
+	want := newOracle()
+	for _, p := range h.script(rng) {
+		switch p.kind {
+		case opInsert:
+			if _, err := m.Insert(p.name, p.elems); err != nil {
+				return fmt.Errorf("foreground insert: %w", err)
+			}
+			want.apply(p)
+		case opDelete:
+			if _, err := m.Delete(p.name); err != nil {
+				return fmt.Errorf("foreground delete: %w", err)
+			}
+			want.apply(p)
+		}
+	}
+
+	// Arm the faults now: every mutating op from here on is scheduler-driven,
+	// so each one-shot fault lands inside a background compaction or
+	// checkpoint. The first is guaranteed to fire on the very next write.
+	faults := 1 + rng.Intn(2)
+	for i := 0; i < faults; i++ {
+		f := store.Fault{After: i * rng.Intn(3)}
+		if rng.Intn(2) == 0 {
+			f.Op = store.OpWrite
+		} else {
+			f.Op = store.OpSync
+		}
+		if rng.Intn(2) == 0 {
+			f.Err = errNoSpace
+		}
+		ffs.Inject(f)
+	}
+
+	target := &schedTarget{m: m, compactAt: 1 + rng.Intn(3)}
+	s := sched.New(sched.Config{
+		Workers:     1 + rng.Intn(2),
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Poll:        2 * time.Millisecond,
+		Seed:        rng.Int63(),
+	})
+	s.Register("chaos", 1, target)
+	s.Notify()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for !target.drained() {
+		if time.Now().After(deadline) {
+			s.Stop()
+			return fmt.Errorf("scheduler never drained the backlog (debt %+v, stats %+v)",
+				m.MaintenanceDebt(), s.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Stop()
+
+	st := s.Stats()
+	if ffs.Fired() == 0 {
+		return fmt.Errorf("no injected fault fired during scheduled maintenance (%d ops)", ffs.Ops())
+	}
+	if st.RetriesTotal == 0 {
+		return fmt.Errorf("faults fired (%d) but the scheduler recorded no retries: %+v", ffs.Fired(), st)
+	}
+	h.rep.SchedRetries += int(st.RetriesTotal)
+
+	if hlt := m.Health(); hlt.Degraded {
+		return fmt.Errorf("transient background faults left the manager degraded: %+v", hlt.Quarantined)
+	}
+	if stateKey(m.LiveSets()) != want.key() {
+		return fmt.Errorf("state diverged from the %d acked ops after scheduled maintenance converged", len(want.order))
+	}
+	// Close may trip a still-armed fault; recovery below must absorb that
+	// exactly like a crash mid-checkpoint.
+	_ = m.Close()
+
+	// Clean reopen: the converged state must survive restart byte-identically.
+	cleanCfg := cfg
+	cleanCfg.FS = nil
+	m2, err := segment.Open(dir, nil, h.builder(), h.opts, cleanCfg)
+	if err != nil {
+		return fmt.Errorf("reopen after scheduled maintenance: %w", err)
+	}
+	defer m2.Close()
+	if hlt := m2.Health(); hlt.Degraded {
+		return fmt.Errorf("reopen after scheduled maintenance degraded: %+v", hlt.Quarantined)
+	}
+	if stateKey(m2.LiveSets()) != want.key() {
+		return fmt.Errorf("reopen after scheduled maintenance diverged from the acked ops")
+	}
+	if err := h.checkSearches(rng, m2, want.sets()); err != nil {
+		return fmt.Errorf("after scheduled maintenance: %w", err)
+	}
+	h.rep.FullRecoveries++
+	return nil
+}

@@ -53,6 +53,11 @@ type Quota struct {
 	// a tenant at its cap is shed with 429 instead of queueing, leaving
 	// pool slots for the other tenants.
 	MaxInFlight int64 `json:"max_in_flight,omitempty"`
+	// Weight is the tenant's share in both fair-queueing of the search
+	// pool and the maintenance scheduler's budget (0 means 1). A weight-4
+	// tenant gets 4× the dispatch share of a weight-1 tenant when both are
+	// backlogged; an idle tenant's unused share costs it nothing.
+	Weight int `json:"weight,omitempty"`
 }
 
 // IsZero reports whether q is the all-unlimited zero value.
@@ -111,6 +116,11 @@ type Counters struct {
 	QuotaRejectedTotal int64 `json:"quota_rejected_total"`
 	RateLimitedTotal   int64 `json:"rate_limited_total"`
 	ShedTotal          int64 `json:"shed_total"`
+	// SlowedTotal counts inserts refused in the maintenance-backlog
+	// slowdown band and StalledTotal those refused at the hard stall bound
+	// (both HTTP 503 maintenance_backlog).
+	SlowedTotal  int64 `json:"slowed_total"`
+	StalledTotal int64 `json:"stalled_total"`
 }
 
 // Collection is one named tenant: a segmented engine plus the quota and
@@ -135,6 +145,15 @@ type Collection struct {
 	quotaRej    atomic.Int64
 	rateLimited atomic.Int64
 	sheds       atomic.Int64
+	slowed      atomic.Int64
+	stalls      atomic.Int64
+
+	// maint points at the registry's resolved maintenance policy (nil on
+	// registries without coordinated maintenance); slowCredit is the
+	// slowdown band's deterministic admission accumulator, guarded by
+	// writeMu like the rest of the write-path state.
+	maint      *MaintenanceConfig
+	slowCredit float64
 
 	writeMu chan struct{} // 1-slot semaphore guarding quota check-then-insert
 }
@@ -175,6 +194,14 @@ func (c *Collection) Manager() *segment.Manager { return c.mgr }
 // Quota returns the collection's configured bounds.
 func (c *Collection) Quota() Quota { return c.quota }
 
+// Weight returns the collection's fair-share weight, never less than 1.
+func (c *Collection) Weight() int {
+	if c.quota.Weight < 1 {
+		return 1
+	}
+	return c.quota.Weight
+}
+
 // Bytes returns the current memory accounting (summed element bytes of
 // live sets).
 func (c *Collection) Bytes() int64 { return c.bytes.Load() }
@@ -187,6 +214,8 @@ func (c *Collection) Counters() Counters {
 		QuotaRejectedTotal: c.quotaRej.Load(),
 		RateLimitedTotal:   c.rateLimited.Load(),
 		ShedTotal:          c.sheds.Load(),
+		SlowedTotal:        c.slowed.Load(),
+		StalledTotal:       c.stalls.Load(),
 	}
 }
 
@@ -194,8 +223,9 @@ func (c *Collection) Counters() Counters {
 // released.
 func (c *Collection) InFlight() int64 { return c.inflight.Load() }
 
-// Insert adds (or replaces) a set, enforcing the sets/bytes quota first:
-// a refused insert returns *QuotaError and mutates nothing. Replacement
+// Insert adds (or replaces) a set, enforcing the maintenance-backlog
+// policy and the sets/bytes quota first: a refused insert returns
+// *MaintenanceBacklogError or *QuotaError and mutates nothing. Replacement
 // is quota-neutral on sets and charged by the size delta on bytes. The
 // check-then-apply pair is serialized against other quota-checked writes,
 // so concurrent inserts cannot both squeeze through the last quota slot.
@@ -203,6 +233,9 @@ func (c *Collection) Insert(name string, elements []string) (int64, error) {
 	c.writeMu <- struct{}{}
 	defer func() { <-c.writeMu }()
 
+	if err := c.admitWrite(); err != nil {
+		return 0, err
+	}
 	add := setBytes(elements)
 	var oldBytes, oldSets int64
 	if name != "" {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 	"repro/internal/segment"
 	"repro/internal/sets"
 )
@@ -58,6 +59,12 @@ type Registry struct {
 	defaults Quota            // quota applied to collections created without one
 	now      func() time.Time // injectable clock for rate limiters (tests)
 
+	// maint is the resolved maintenance policy and sched the coordinated
+	// scheduler driving it — nil when Maintenance.Workers == 0, in which
+	// case every collection self-maintains exactly as before.
+	maint MaintenanceConfig
+	sched *sched.Scheduler
+
 	mu     sync.RWMutex
 	cols   map[string]*Collection
 	closed bool
@@ -76,6 +83,10 @@ type Config struct {
 	// created without an explicit quota. The zero value is unlimited —
 	// the pre-multi-tenant behavior.
 	DefaultQuota Quota
+	// Maintenance opts into coordinated background scheduling and write
+	// degradation (DESIGN.md §15). The zero value (Workers == 0) keeps the
+	// legacy per-manager self-maintenance.
+	Maintenance MaintenanceConfig
 	// Now overrides the rate limiters' clock (tests); nil = time.Now.
 	Now func() time.Time
 }
@@ -86,6 +97,7 @@ func NewRegistry(seed []sets.Set, cfg Config) *Registry {
 	r := newRegistry("", cfg)
 	mgr := segment.NewManager(seed, r.build, r.opts, r.segCfg)
 	r.cols[DefaultName] = newCollection(DefaultName, mgr, r.defaults, r.now)
+	r.attachMaintenance(r.cols[DefaultName])
 	return r
 }
 
@@ -112,9 +124,11 @@ func OpenRegistry(dir string, seed []sets.Set, cfg Config) (*Registry, error) {
 	r := newRegistry(dir, cfg)
 	mgr, err := segment.Open(dir, seed, r.build, r.opts, r.segCfg)
 	if err != nil {
+		r.stopSched()
 		return nil, err
 	}
 	r.cols[DefaultName] = newCollection(DefaultName, mgr, r.defaults, r.now)
+	r.attachMaintenance(r.cols[DefaultName])
 
 	sub := filepath.Join(dir, CollectionsDirName)
 	entries, err := os.ReadDir(sub)
@@ -122,6 +136,7 @@ func OpenRegistry(dir string, seed []sets.Set, cfg Config) (*Registry, error) {
 		if os.IsNotExist(err) {
 			return r, nil
 		}
+		r.stopSched()
 		return nil, fmt.Errorf("collection: scan %s: %w", sub, err)
 	}
 	names := make([]string, 0, len(entries))
@@ -134,15 +149,26 @@ func OpenRegistry(dir string, seed []sets.Set, cfg Config) (*Registry, error) {
 	for _, name := range names {
 		q, err := readTenantFile(filepath.Join(sub, name))
 		if err != nil {
+			r.stopSched()
 			return nil, fmt.Errorf("collection: recover %q: %w", name, err)
 		}
 		m, err := segment.Open(filepath.Join(sub, name), nil, r.build, r.opts, r.segCfg)
 		if err != nil {
+			r.stopSched()
 			return nil, fmt.Errorf("collection: recover %q: %w", name, err)
 		}
 		r.cols[name] = newCollection(name, m, q, r.now)
+		r.attachMaintenance(r.cols[name])
 	}
 	return r, nil
+}
+
+// stopSched halts the scheduler (no-op when disabled) — the failure-path
+// cleanup for constructors that abort after newRegistry started it.
+func (r *Registry) stopSched() {
+	if r.sched != nil {
+		r.sched.Stop()
+	}
 }
 
 func newRegistry(dir string, cfg Config) *Registry {
@@ -150,7 +176,7 @@ func newRegistry(dir string, cfg Config) *Registry {
 	if now == nil {
 		now = time.Now
 	}
-	return &Registry{
+	r := &Registry{
 		dir:      dir,
 		build:    cfg.Build,
 		opts:     cfg.Opts,
@@ -159,7 +185,39 @@ func newRegistry(dir string, cfg Config) *Registry {
 		now:      now,
 		cols:     make(map[string]*Collection),
 	}
+	if cfg.Maintenance.Enabled() {
+		r.maint = cfg.Maintenance.withDefaults(cfg.SegCfg)
+		r.sched = sched.New(sched.Config{
+			Workers:     r.maint.Workers,
+			BaseBackoff: r.maint.BaseBackoff,
+			MaxBackoff:  r.maint.MaxBackoff,
+			Poll:        r.maint.Poll,
+			UrgentScore: r.maint.UrgentScore,
+			Seed:        r.maint.Seed,
+		})
+		// Every manager this registry builds hands its compaction and
+		// seal-checkpoint decisions to the scheduler; the notify hook is
+		// lock-free, as the Manager calls it under its writer lock.
+		r.segCfg.ExternalMaintenance = true
+		r.segCfg.OnMaintenance = r.sched.Notify
+	}
+	return r
 }
+
+// attachMaintenance wires a freshly built collection into the coordinated
+// scheduler (no-op when disabled).
+func (r *Registry) attachMaintenance(c *Collection) {
+	if r.sched == nil {
+		return
+	}
+	c.maint = &r.maint
+	r.sched.Register(c.name, c.Weight(), &maintTarget{col: c, cfg: r.maint})
+}
+
+// Scheduler returns the coordinated maintenance scheduler, nil when
+// disabled. The serving layer uses it to install the load probe and to
+// export scheduler state on /v1/info.
+func (r *Registry) Scheduler() *sched.Scheduler { return r.sched }
 
 // Dir returns the registry's root directory, empty for in-memory.
 func (r *Registry) Dir() string { return r.dir }
@@ -234,6 +292,7 @@ func (r *Registry) Create(name string, q Quota) (*Collection, error) {
 	}
 	c := newCollection(name, mgr, q, r.now)
 	r.cols[name] = c
+	r.attachMaintenance(c)
 	return c, nil
 }
 
@@ -258,6 +317,12 @@ func (r *Registry) Drop(name string) error {
 	delete(r.cols, name)
 	r.mu.Unlock()
 
+	// Deschedule first so no new maintenance round starts against the
+	// closing manager (one already in flight finishes — Compact and Close
+	// serialize on the manager's own locks).
+	if r.sched != nil {
+		r.sched.Unregister(name)
+	}
 	// Close and delete outside the lock: neither blocks serving traffic on
 	// other collections, and searches already running against the dropped
 	// collection's snapshot complete safely (segments are immutable and,
@@ -271,10 +336,16 @@ func (r *Registry) Drop(name string) error {
 	return err
 }
 
-// Close closes every collection (checkpointing durable ones). Further
+// Close stops the maintenance scheduler (waiting out in-flight background
+// ops) and closes every collection (checkpointing durable ones). Further
 // Create/Drop calls fail with ErrClosed; existing collections keep
 // answering searches from their last snapshots.
 func (r *Registry) Close() error {
+	// Stop the scheduler before closing managers: Stop waits for in-flight
+	// runs, so no compaction races a closing manager. Outside r.mu — runs
+	// never take the registry lock, but there is no reason to serialize
+	// serving reads behind the wait either.
+	r.stopSched()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {

@@ -1,0 +1,376 @@
+// Package sched is the coordinated maintenance scheduler (DESIGN.md §15):
+// one process-wide owner for all background compaction/checkpoint work
+// across a registry of tenants. Each tenant registers a Target — "how
+// urgent is your backlog" plus "run one round of maintenance" — and the
+// scheduler decides who runs when:
+//
+//   - at most Config.Workers maintenance ops execute concurrently, so N
+//     busy tenants cannot multiply background I/O by N;
+//   - selection is weighted with priority aging: every dispatch round a
+//     pending tenant's credit grows by its weight, the highest credit runs
+//     and resets — heavy tenants get proportionally more rounds, but a
+//     weight-1 tenant's credit grows without bound while it waits, so no
+//     tenant starves;
+//   - failures retry with capped exponential backoff plus jitter, and the
+//     scheduler never gives up on a tenant: its debt keeps it pending, so a
+//     transient ENOSPC or fsync failure converges once the fault clears;
+//   - a load probe pauses maintenance while the serving path's tail
+//     latency is blown, resuming when it recovers — except for tenants
+//     whose backlog passed Config.UrgentScore (a stalled writer outranks a
+//     slow reader: deferring forever would turn a latency wobble into an
+//     availability loss).
+//
+// Notify is the only producer-side call and is non-blocking by contract —
+// segment.Manager invokes it under its writer lock.
+package sched
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Target is one tenant's maintenance surface.
+type Target interface {
+	// Score reports the urgency of the tenant's outstanding maintenance;
+	// 0 (or less) means nothing to do. Must be cheap — it runs on every
+	// dispatch round.
+	Score() float64
+	// Run performs one round of maintenance (a compaction and/or a
+	// checkpoint). A non-nil error is treated as transient and retried
+	// with backoff; ctx is cancelled by Stop.
+	Run(ctx context.Context) error
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// Workers bounds concurrently running maintenance ops. Default 2.
+	Workers int
+	// BaseBackoff/MaxBackoff shape the retry schedule after a failed run:
+	// base·2^failures, capped, plus up to 50% jitter. Defaults 50ms / 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Poll is the idle re-scan interval — the safety net that re-examines
+	// scores, expiring backoffs, and the load probe even when no Notify
+	// arrives. Default 250ms.
+	Poll time.Duration
+	// UrgentScore is the backlog score at which a tenant is dispatched
+	// even while the load probe pauses maintenance. Default 16.
+	UrgentScore float64
+	// Seed seeds the jitter source (deterministic tests). Default 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.Poll <= 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+	if c.UrgentScore <= 0 {
+		c.UrgentScore = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// tenant is the scheduler's per-tenant state, guarded by Scheduler.mu.
+type tenant struct {
+	name    string
+	weight  int
+	target  Target
+	credit  float64 // aged priority: +weight per round waited, reset on dispatch
+	running bool
+	gone    bool // unregistered while running; drop on completion
+
+	failures     int // consecutive
+	backoffUntil time.Time
+	runs         int64
+	retries      int64
+	lastErr      string
+}
+
+// Scheduler coordinates maintenance across registered tenants.
+type Scheduler struct {
+	cfg  Config
+	ctx  context.Context
+	halt context.CancelFunc
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	running int
+	rng     *rand.Rand
+
+	probe atomic.Pointer[func() bool] // load probe; nil = never paused
+
+	wake    chan struct{}
+	stopped chan struct{}
+	wg      sync.WaitGroup // loop + in-flight runs
+
+	runsTotal    atomic.Int64
+	retriesTotal atomic.Int64
+	pausedNow    atomic.Bool
+}
+
+// New builds and starts a scheduler.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	ctx, halt := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:     cfg,
+		ctx:     ctx,
+		halt:    halt,
+		tenants: make(map[string]*tenant),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		wake:    make(chan struct{}, 1),
+		stopped: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+// SetLoadProbe installs the pause predicate: true defers non-urgent
+// maintenance. Safe to call at any time (the serving layer wires it after
+// construction, once its latency telemetry exists).
+func (s *Scheduler) SetLoadProbe(f func() bool) {
+	if f == nil {
+		s.probe.Store(nil)
+		return
+	}
+	s.probe.Store(&f)
+}
+
+// Register adds (or re-weights) a tenant. Weight is clamped to ≥ 1.
+func (s *Scheduler) Register(name string, weight int, t Target) {
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	if old, ok := s.tenants[name]; ok {
+		old.weight = weight
+		old.target = t
+		old.gone = false
+	} else {
+		s.tenants[name] = &tenant{name: name, weight: weight, target: t}
+	}
+	s.mu.Unlock()
+	s.Notify()
+}
+
+// Unregister removes a tenant; a run already in flight finishes but is not
+// rescheduled.
+func (s *Scheduler) Unregister(name string) {
+	s.mu.Lock()
+	if t, ok := s.tenants[name]; ok {
+		if t.running {
+			t.gone = true // completion handler deletes it
+		} else {
+			delete(s.tenants, name)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Notify wakes the dispatch loop. Non-blocking and lock-free by contract:
+// it is called from under segment.Manager's writer lock on every mutation
+// that grows maintenance debt.
+func (s *Scheduler) Notify() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stop cancels the run context, waits for the loop and every in-flight
+// maintenance op to finish, and leaves the scheduler inert. Idempotent.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	select {
+	case <-s.stopped:
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	default:
+		close(s.stopped)
+	}
+	s.mu.Unlock()
+	s.halt()
+	s.wg.Wait()
+}
+
+func (s *Scheduler) loop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.Poll)
+	defer tick.Stop()
+	for {
+		s.dispatch()
+		select {
+		case <-s.stopped:
+			return
+		case <-s.wake:
+		case <-tick.C:
+		}
+	}
+}
+
+// paused consults the load probe.
+func (s *Scheduler) paused() bool {
+	p := s.probe.Load()
+	if p == nil {
+		return false
+	}
+	return (*p)()
+}
+
+// dispatch fills free worker slots with surplus-round-robin selection:
+// each round every eligible pending tenant's credit grows by its weight,
+// the richest runs, and the winner pays back the round's total eligible
+// weight. Over a cycle each tenant's net credit is zero, so run counts
+// settle at weight/Σweights exactly (4/6 for weights 1:1:4) — a plain
+// reset-to-zero would overtax the heavy tenant toward 1/2. A weight-1
+// tenant still gains +1 every round and must eventually hold the maximum:
+// priority ages, nobody starves. The credit of a tenant with nothing to
+// do decays to zero — idleness must not bank priority for later.
+func (s *Scheduler) dispatch() {
+	select {
+	case <-s.stopped:
+		return
+	default:
+	}
+	paused := s.paused()
+	s.pausedNow.Store(paused)
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.running < s.cfg.Workers {
+		var best *tenant
+		var roundWeight float64
+		for _, t := range s.tenants {
+			if t.running || t.gone || now.Before(t.backoffUntil) {
+				continue
+			}
+			if t.target.Score() <= 0 {
+				t.credit = 0
+				continue
+			}
+			if paused && t.target.Score() < s.cfg.UrgentScore {
+				continue
+			}
+			t.credit += float64(t.weight)
+			roundWeight += float64(t.weight)
+			if best == nil || t.credit > best.credit ||
+				(t.credit == best.credit && t.name < best.name) {
+				best = t
+			}
+		}
+		if best == nil {
+			return
+		}
+		best.credit -= roundWeight
+		best.running = true
+		s.running++
+		s.wg.Add(1)
+		go s.runOne(best)
+	}
+}
+
+// runOne executes one maintenance round and records the outcome: success
+// clears the failure streak; an error schedules a capped-exponential,
+// jittered retry. The tenant is never abandoned — its debt keeps it
+// pending past the backoff.
+func (s *Scheduler) runOne(t *tenant) {
+	defer s.wg.Done()
+	err := t.target.Run(s.ctx)
+	s.mu.Lock()
+	t.running = false
+	s.running--
+	t.runs++
+	if t.gone {
+		delete(s.tenants, t.name)
+	}
+	if err != nil {
+		t.failures++
+		t.retries++
+		t.lastErr = err.Error()
+		backoff := s.cfg.BaseBackoff << (t.failures - 1)
+		if backoff > s.cfg.MaxBackoff || backoff <= 0 {
+			backoff = s.cfg.MaxBackoff
+		}
+		backoff += time.Duration(s.rng.Int63n(int64(backoff)/2 + 1))
+		t.backoffUntil = time.Now().Add(backoff)
+		s.retriesTotal.Add(1)
+	} else {
+		t.failures = 0
+		t.lastErr = ""
+	}
+	s.mu.Unlock()
+	s.runsTotal.Add(1)
+	s.Notify()
+}
+
+// TenantStats is one tenant's row in Stats.
+type TenantStats struct {
+	Name    string  `json:"name"`
+	Weight  int     `json:"weight"`
+	Score   float64 `json:"score"`
+	Running bool    `json:"running"`
+	Runs    int64   `json:"runs"`
+	// Retries counts failed runs (each one was retried after backoff);
+	// Failures is the current consecutive-failure streak, 0 when healthy.
+	Retries   int64  `json:"retries"`
+	Failures  int    `json:"failures"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Stats is the scheduler section of /v1/info.
+type Stats struct {
+	Workers      int           `json:"workers"`
+	Running      int           `json:"running"`
+	Paused       bool          `json:"paused"`
+	RunsTotal    int64         `json:"runs_total"`
+	RetriesTotal int64         `json:"retries_total"`
+	Tenants      []TenantStats `json:"tenants,omitempty"`
+}
+
+// Stats snapshots the scheduler state, tenants sorted by name.
+func (s *Scheduler) Stats() Stats {
+	st := Stats{
+		Workers:      s.cfg.Workers,
+		Paused:       s.pausedNow.Load(),
+		RunsTotal:    s.runsTotal.Load(),
+		RetriesTotal: s.retriesTotal.Load(),
+	}
+	s.mu.Lock()
+	st.Running = s.running
+	for _, t := range s.tenants {
+		st.Tenants = append(st.Tenants, TenantStats{
+			Name:      t.name,
+			Weight:    t.weight,
+			Score:     t.target.Score(),
+			Running:   t.running,
+			Runs:      t.runs,
+			Retries:   t.retries,
+			Failures:  t.failures,
+			LastError: t.lastErr,
+		})
+	}
+	s.mu.Unlock()
+	for i := 1; i < len(st.Tenants); i++ {
+		for j := i; j > 0 && st.Tenants[j].Name < st.Tenants[j-1].Name; j-- {
+			st.Tenants[j], st.Tenants[j-1] = st.Tenants[j-1], st.Tenants[j]
+		}
+	}
+	return st
+}

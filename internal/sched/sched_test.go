@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeTarget adapts closures to the Target interface.
+type fakeTarget struct {
+	score func() float64
+	run   func(ctx context.Context) error
+}
+
+func (f fakeTarget) Score() float64                { return f.score() }
+func (f fakeTarget) Run(ctx context.Context) error { return f.run(ctx) }
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWeightedShares pins the surplus-round-robin invariant: with tenants
+// at weights 1:1:4 all permanently pending, the weight-4 tenant completes
+// 4/6 of the runs (within tolerance for the startup transient).
+func TestWeightedShares(t *testing.T) {
+	s := New(Config{Workers: 1, Poll: time.Millisecond})
+	defer s.Stop()
+	var a, b, c atomic.Int64
+	always := func() float64 { return 1 }
+	count := func(n *atomic.Int64) func(context.Context) error {
+		return func(context.Context) error { n.Add(1); return nil }
+	}
+	s.Register("a", 1, fakeTarget{score: always, run: count(&a)})
+	s.Register("b", 1, fakeTarget{score: always, run: count(&b)})
+	s.Register("c", 4, fakeTarget{score: always, run: count(&c)})
+
+	total := func() int64 { return a.Load() + b.Load() + c.Load() }
+	waitFor(t, "600 runs", func() bool { return total() >= 600 })
+	s.Stop()
+
+	share := float64(c.Load()) / float64(total())
+	if share < 0.60 || share > 0.73 {
+		t.Fatalf("weight-4 tenant share = %.3f (a=%d b=%d c=%d), want ≈ 4/6",
+			share, a.Load(), b.Load(), c.Load())
+	}
+	if a.Load() == 0 || b.Load() == 0 {
+		t.Fatalf("weight-1 tenant starved: a=%d b=%d", a.Load(), b.Load())
+	}
+}
+
+// TestConcurrencyCap pins the global K: four tenants with blocking runs on
+// a 2-worker scheduler never have more than two in flight.
+func TestConcurrencyCap(t *testing.T) {
+	s := New(Config{Workers: 2, Poll: time.Millisecond})
+	defer s.Stop()
+	release := make(chan struct{})
+	var inflight, peak atomic.Int64
+	blocked := func(ctx context.Context) error {
+		n := inflight.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		defer inflight.Add(-1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	for _, name := range []string{"w", "x", "y", "z"} {
+		s.Register(name, 1, fakeTarget{score: func() float64 { return 1 }, run: blocked})
+	}
+	waitFor(t, "2 runs in flight", func() bool { return inflight.Load() == 2 })
+	// Give the dispatcher every chance to (incorrectly) exceed the cap.
+	time.Sleep(20 * time.Millisecond)
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("peak concurrent runs = %d, want ≤ 2", got)
+	}
+	close(release)
+}
+
+// TestRetryWithBackoff pins the failure path: transient errors are retried
+// (with the streak visible in Stats) until the target recovers, and the
+// failure streak clears on success.
+func TestRetryWithBackoff(t *testing.T) {
+	s := New(Config{
+		Workers:     1,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Poll:        time.Millisecond,
+	})
+	defer s.Stop()
+	var attempts atomic.Int64
+	var done atomic.Bool
+	boom := errors.New("injected: no space left on device")
+	s.Register("t", 1, fakeTarget{
+		score: func() float64 {
+			if done.Load() {
+				return 0
+			}
+			return 1
+		},
+		run: func(context.Context) error {
+			if attempts.Add(1) <= 3 {
+				return boom
+			}
+			done.Store(true)
+			return nil
+		},
+	})
+	waitFor(t, "retry convergence", func() bool { return done.Load() })
+	waitFor(t, "stats settle", func() bool {
+		st := s.Stats()
+		return len(st.Tenants) == 1 && st.Tenants[0].Runs == 4
+	})
+	st := s.Stats()
+	ten := st.Tenants[0]
+	if ten.Retries != 3 || st.RetriesTotal != 3 {
+		t.Fatalf("retries = %d (total %d), want 3", ten.Retries, st.RetriesTotal)
+	}
+	if ten.Failures != 0 || ten.LastError != "" {
+		t.Fatalf("failure streak not cleared after success: %+v", ten)
+	}
+	if attempts.Load() != 4 {
+		t.Fatalf("attempts = %d, want 4 (3 failures + 1 success)", attempts.Load())
+	}
+}
+
+// TestLoadProbePausesExceptUrgent pins load-aware pausing: while the probe
+// reports pressure, a mildly-pending tenant is deferred but one past
+// UrgentScore still runs; when pressure clears, the deferred tenant runs.
+func TestLoadProbePausesExceptUrgent(t *testing.T) {
+	s := New(Config{Workers: 2, Poll: time.Millisecond, UrgentScore: 5})
+	defer s.Stop()
+	var hot atomic.Bool
+	hot.Store(true)
+	s.SetLoadProbe(func() bool { return hot.Load() })
+	var mild, urgent atomic.Int64
+	s.Register("mild", 1, fakeTarget{
+		score: func() float64 { return 1 },
+		run:   func(context.Context) error { mild.Add(1); return nil },
+	})
+	s.Register("urgent", 1, fakeTarget{
+		score: func() float64 { return 10 },
+		run:   func(context.Context) error { urgent.Add(1); return nil },
+	})
+	waitFor(t, "urgent tenant runs despite pause", func() bool { return urgent.Load() > 0 })
+	if !s.Stats().Paused {
+		t.Fatal("Stats.Paused = false while the load probe reports pressure")
+	}
+	if mild.Load() != 0 {
+		t.Fatalf("mild tenant ran %d times during pause, want 0", mild.Load())
+	}
+	hot.Store(false)
+	s.Notify()
+	waitFor(t, "mild tenant resumes after recovery", func() bool { return mild.Load() > 0 })
+}
+
+// TestStopWaitsForInflight pins shutdown: Stop cancels the run context and
+// returns only after in-flight maintenance has finished.
+func TestStopWaitsForInflight(t *testing.T) {
+	s := New(Config{Workers: 1, Poll: time.Millisecond})
+	started := make(chan struct{})
+	var finished atomic.Bool
+	s.Register("t", 1, fakeTarget{
+		score: func() float64 { return 1 },
+		run: func(ctx context.Context) error {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-ctx.Done() // only Stop releases us
+			finished.Store(true)
+			return ctx.Err()
+		},
+	})
+	<-started
+	s.Stop()
+	if !finished.Load() {
+		t.Fatal("Stop returned while a maintenance run was still in flight")
+	}
+	s.Stop() // idempotent
+}
+
+// TestUnregisterWhileRunning pins teardown racing a run: the in-flight op
+// finishes, the tenant is dropped, and it is never rescheduled.
+func TestUnregisterWhileRunning(t *testing.T) {
+	s := New(Config{Workers: 1, Poll: time.Millisecond})
+	defer s.Stop()
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var runs atomic.Int64
+	s.Register("t", 1, fakeTarget{
+		score: func() float64 { return 1 },
+		run: func(ctx context.Context) error {
+			runs.Add(1)
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return nil
+		},
+	})
+	<-started
+	s.Unregister("t")
+	close(release)
+	waitFor(t, "tenant dropped from stats", func() bool { return len(s.Stats().Tenants) == 0 })
+	got := runs.Load()
+	time.Sleep(10 * time.Millisecond)
+	if runs.Load() != got {
+		t.Fatalf("unregistered tenant was rescheduled: %d → %d runs", got, runs.Load())
+	}
+}

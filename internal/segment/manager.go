@@ -96,6 +96,20 @@ type Config struct {
 	// short writes, ENOSPC, fsync failures, and crash points (DESIGN.md
 	// §11).
 	FS store.FS
+	// ExternalMaintenance hands compaction and seal-triggered checkpoints
+	// to an external scheduler (DESIGN.md §15): the manager stops
+	// self-compacting and stops checkpointing inline when the memtable
+	// seals, and instead accumulates MaintenanceDebt until someone calls
+	// Compact/Checkpoint. Seals still happen inline (the memtable stays
+	// bounded either way); only the durability/merge work is deferred —
+	// which is correctness-safe, because the previous manifest + a longer
+	// WAL replay is always a legal recovery point.
+	ExternalMaintenance bool
+	// OnMaintenance, when set with ExternalMaintenance, is called after a
+	// mutation grows the maintenance debt. It MUST be non-blocking: it
+	// runs under the writer lock (sched.Scheduler.Notify qualifies — an
+	// atomic wake-up mark, never a lock).
+	OnMaintenance func()
 }
 
 func (c Config) withDefaults() Config {
@@ -363,6 +377,58 @@ func (m *Manager) Segments() (sealedSegs, memtableSets, tombstones int) {
 	return len(m.sealed), len(m.mem), tombstones
 }
 
+// Debt quantifies the maintenance backlog a manager has accumulated — the
+// work Compact/Checkpoint would perform. It is what an external scheduler
+// prioritizes on and what the write-stall thresholds compare against
+// (DESIGN.md §15).
+type Debt struct {
+	// SealedSegments is the sealed immutable segment count; compaction
+	// merges them back down to one.
+	SealedSegments int `json:"sealed_segments"`
+	// MemtableSets counts buffered writes not yet sealed into a segment.
+	MemtableSets int `json:"memtable_sets"`
+	// Tombstones counts deleted rows whose storage compaction reclaims.
+	Tombstones int `json:"tombstones"`
+	// WALBytes is the write-ahead-log volume since the last checkpoint —
+	// exactly the replay a crash would pay. Zero on in-memory managers.
+	WALBytes int64 `json:"wal_bytes"`
+	// UnpersistedSegments counts sealed segments with no on-disk snapshot
+	// yet; a checkpoint persists them. Zero on in-memory managers.
+	UnpersistedSegments int `json:"unpersisted_segments"`
+}
+
+// String renders the debt for error messages and logs.
+func (d Debt) String() string {
+	return fmt.Sprintf("%d sealed (%d unpersisted), %d memtable sets, %d tombstones, %d WAL bytes",
+		d.SealedSegments, d.UnpersistedSegments, d.MemtableSets, d.Tombstones, d.WALBytes)
+}
+
+// MaintenanceDebt snapshots the manager's current maintenance backlog.
+func (m *Manager) MaintenanceDebt() Debt {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := Debt{SealedSegments: len(m.sealed), MemtableSets: len(m.mem)}
+	for _, s := range m.sealed {
+		d.Tombstones += s.deadN
+		if m.dir != "" && s.file == "" {
+			d.UnpersistedSegments++
+		}
+	}
+	if m.wal != nil {
+		d.WALBytes = m.wal.AppendedBytes()
+	}
+	return d
+}
+
+// notifyMaintenanceLocked nudges the external scheduler (if wired) that
+// debt grew. Replay suppresses it: recovery re-applies the whole WAL under
+// the lock before the manager is even returned to a caller.
+func (m *Manager) notifyMaintenanceLocked() {
+	if m.cfg.OnMaintenance != nil && !m.replaying {
+		m.cfg.OnMaintenance()
+	}
+}
+
 // Insert adds a set (or replaces the live set of the same name) and
 // returns its stable handle. An empty name defaults to "set-<handle>".
 // The new set is searchable as soon as Insert returns. On a durable
@@ -432,6 +498,12 @@ func (m *Manager) applyInsertLocked(handle int64, name string, elements []string
 	sealed := m.maybeSealLocked()
 	m.publishLocked()
 	m.maybeCompactLocked()
+	if m.cfg.ExternalMaintenance {
+		// Deferred durability: the seal's checkpoint (and any compaction)
+		// become scheduler work; the WAL already covers the mutation.
+		m.notifyMaintenanceLocked()
+		return nil
+	}
 	if sealed {
 		return m.checkpointLocked()
 	}
@@ -476,6 +548,9 @@ func (m *Manager) applyDeleteLocked(name string, l loc) {
 		m.rebuildMemLocked()
 	}
 	m.publishLocked()
+	if m.cfg.ExternalMaintenance {
+		m.notifyMaintenanceLocked()
+	}
 }
 
 // removeLocked detaches the set at l: memtable rows are spliced out,
@@ -606,6 +681,9 @@ func (m *Manager) publishLocked() {
 func (m *Manager) maybeCompactLocked() {
 	if len(m.sealed) <= m.cfg.MaxSegments {
 		return
+	}
+	if m.cfg.ExternalMaintenance {
+		return // the scheduler compacts; the caller notifies it
 	}
 	if m.cfg.ForegroundCompaction {
 		m.compactLocked()

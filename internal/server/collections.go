@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/collection"
+	"repro/internal/segment"
 )
 
 // This file is the multi-tenant HTTP surface (DESIGN.md §14): collection
@@ -30,16 +31,30 @@ type CollectionInfo struct {
 	Mutable      bool  `json:"mutable"`
 	Degraded     bool  `json:"degraded"`
 	InFlight     int64 `json:"in_flight"`
+	// Weight is the tenant's resolved fair-share weight (≥ 1) in the
+	// search pool's DRR and the maintenance scheduler.
+	Weight int `json:"weight"`
+	// Debt is the maintenance backlog the scheduler is draining; the
+	// slowdown/stall thresholds compare against it (DESIGN.md §15).
+	Debt segment.Debt `json:"debt"`
+	// LatencyP50US/P95US/P99US are this tenant's own recent search latency
+	// percentiles — the per-collection view that makes "a flooding sibling
+	// moved my p99" observable rather than folklore.
+	LatencyP50US int64 `json:"latency_p50_us"`
+	LatencyP95US int64 `json:"latency_p95_us"`
+	LatencyP99US int64 `json:"latency_p99_us"`
 	// Quota is the configured bound (zero fields = unlimited); Counters
 	// are the admission totals — quota_rejected_total counts 413s,
-	// rate_limited_total and shed_total count the two flavors of 429.
+	// rate_limited_total and shed_total count the two flavors of 429, and
+	// slowed_total/stalled_total count the maintenance-backlog 503s.
 	Quota    collection.Quota    `json:"quota"`
 	Counters collection.Counters `json:"counters"`
 }
 
-func collectionInfoOf(c *collection.Collection) CollectionInfo {
+func (s *Server) collectionInfoOf(c *collection.Collection) CollectionInfo {
 	m := c.Manager()
 	sealed, memSets, tombstones := m.Segments()
+	p50, p95, p99 := s.pool.tenantPercentiles(c.Name())
 	return CollectionInfo{
 		Name:         c.Name(),
 		Sets:         m.Len(),
@@ -51,6 +66,11 @@ func collectionInfoOf(c *collection.Collection) CollectionInfo {
 		Mutable:      m.Mutable(),
 		Degraded:     m.Health().Degraded,
 		InFlight:     c.InFlight(),
+		Weight:       c.Weight(),
+		Debt:         m.MaintenanceDebt(),
+		LatencyP50US: p50.Microseconds(),
+		LatencyP95US: p95.Microseconds(),
+		LatencyP99US: p99.Microseconds(),
 		Quota:        c.Quota(),
 		Counters:     c.Counters(),
 	}
@@ -95,12 +115,16 @@ func (s *Server) resolveCollection(w http.ResponseWriter, r *http.Request) (*col
 // writeAdmissionError maps the typed per-tenant refusals to their HTTP
 // forms: quota → 413, rate limit → 429 with the bucket's refill time as
 // Retry-After, in-flight cap → 429 with a short fixed Retry-After (the
-// tenant's own queries drain on query-latency timescales). Returns false
-// for any other error so callers fall through to their generic handling.
+// tenant's own queries drain on query-latency timescales), maintenance
+// backlog → 503 maintenance_backlog with Retry-After (the write-stall
+// degradation of DESIGN.md §15 — visible refusal, never silent latency).
+// Returns false for any other error so callers fall through to their
+// generic handling.
 func writeAdmissionError(w http.ResponseWriter, err error) bool {
 	var qe *collection.QuotaError
 	var re *collection.RateLimitError
 	var be *collection.BusyError
+	var me *collection.MaintenanceBacklogError
 	switch {
 	case errors.As(err, &qe):
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
@@ -126,6 +150,17 @@ func writeAdmissionError(w http.ResponseWriter, err error) bool {
 			Code:       "tenant_busy",
 			Collection: be.Collection,
 		})
+	case errors.As(err, &me):
+		secs := int64(me.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error:      me.Error(),
+			Code:       "maintenance_backlog",
+			Collection: me.Collection,
+		})
 	default:
 		return false
 	}
@@ -147,7 +182,7 @@ func (s *Server) handleListCollections(w http.ResponseWriter, r *http.Request) {
 	cols := s.reg.List()
 	resp := ListCollectionsResponse{Collections: make([]CollectionInfo, len(cols))}
 	for i, c := range cols {
-		resp.Collections[i] = collectionInfoOf(c)
+		resp.Collections[i] = s.collectionInfoOf(c)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -160,7 +195,7 @@ func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 	col, err := s.reg.Create(req.Name, req.Quota)
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusCreated, collectionInfoOf(col))
+		writeJSON(w, http.StatusCreated, s.collectionInfoOf(col))
 	case errors.Is(err, collection.ErrExists):
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Code: "collection_exists", Collection: req.Name})
 	case errors.Is(err, collection.ErrClosed):
@@ -180,7 +215,7 @@ func (s *Server) handleGetCollection(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, collectionInfoOf(col))
+	writeJSON(w, http.StatusOK, s.collectionInfoOf(col))
 }
 
 func (s *Server) handleDropCollection(w http.ResponseWriter, r *http.Request) {
@@ -188,6 +223,9 @@ func (s *Server) handleDropCollection(w http.ResponseWriter, r *http.Request) {
 	err := s.reg.Drop(name)
 	switch {
 	case err == nil:
+		// Forget the dropped tenant's fair-queue state too; a recreated
+		// collection of the same name starts with a fresh deficit.
+		s.pool.removeTenant(name)
 		writeJSON(w, http.StatusOK, DropCollectionResponse{Dropped: true, Name: name})
 	case errors.Is(err, collection.ErrDefault):
 		httpError(w, http.StatusBadRequest, err.Error())

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/index"
@@ -83,10 +84,17 @@ func TestLoadSheddingAnswers429WithRetryAfter(t *testing.T) {
 	defer ts.Close()
 
 	// Saturate deterministically: occupy the single worker slot and fill
-	// the admission queue to its bound, exactly the state a slow query plus
-	// a burst of arrivals produces.
+	// the tenant's admission queue to its bound, exactly the state a slow
+	// query plus a burst of arrivals produces.
 	srv.pool.sem <- struct{}{}
-	srv.pool.queued.Add(int64(cfg.MaxQueueDepth))
+	fake := make([]*waiter, cfg.MaxQueueDepth)
+	srv.pool.mu.Lock()
+	tq := srv.pool.tenantLocked(collection.DefaultName, 1)
+	for i := range fake {
+		fake[i] = &waiter{ready: make(chan struct{})}
+		tq.q = append(tq.q, fake[i])
+	}
+	srv.pool.mu.Unlock()
 
 	body := `{"query":["x"]}`
 	resp, err := http.Post(ts.URL+"/v1/search", "application/json", strings.NewReader(body))
@@ -113,8 +121,24 @@ func TestLoadSheddingAnswers429WithRetryAfter(t *testing.T) {
 
 	// Drain the synthetic overload: service resumes and the sheds remain
 	// counted in /v1/info.
-	srv.pool.queued.Add(-int64(cfg.MaxQueueDepth))
+	srv.pool.mu.Lock()
+	kept := tq.q[:0]
+	for _, w := range tq.q {
+		isFake := false
+		for _, f := range fake {
+			if w == f {
+				isFake = true
+				break
+			}
+		}
+		if !isFake {
+			kept = append(kept, w)
+		}
+	}
+	tq.q = kept
+	srv.pool.mu.Unlock()
 	<-srv.pool.sem
+	srv.pool.dispatch()
 	c := NewClient(ts.URL, nil)
 	if _, err := c.Search(ds.Repo.Set(0).Elements, 0); err != nil {
 		t.Fatalf("search after overload drained: %v", err)

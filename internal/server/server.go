@@ -49,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/matching"
+	"repro/internal/sched"
 	"repro/internal/segment"
 	"repro/internal/sim"
 )
@@ -81,10 +82,12 @@ type Config struct {
 	// MaxBatchQueries caps the number of queries in one batch request.
 	// Default 256.
 	MaxBatchQueries int
-	// MaxQueueDepth is the worker-pool queue depth beyond which new search
-	// requests are shed with 429 + Retry-After instead of queueing — the
-	// admission control that keeps the p99 of admitted queries bounded
-	// under overload. Default: 8 × SearchWorkers.
+	// MaxQueueDepth is the per-tenant queue depth beyond which a
+	// collection's new search requests are shed with 429 + Retry-After
+	// instead of queueing — the admission backstop around the fair queues:
+	// a flooding tenant fills only its own queue and then sheds, leaving
+	// the other tenants' queues (and latency) untouched. Default: 8 ×
+	// SearchWorkers.
 	MaxQueueDepth int
 	// ShedLatencyP99 sheds new searches (429 + Retry-After) whenever the
 	// pool's recent p99 latency exceeds this bound while queries are
@@ -178,6 +181,21 @@ func NewRegistry(reg *collection.Registry, cfg Config) *Server {
 		pool:  newWorkerPool(cfg.SearchWorkers, cfg.MaxQueueDepth),
 		start: time.Now(),
 	}
+	// Load-aware maintenance pausing (DESIGN.md §15): while queries are
+	// queueing and the pool's recent p99 is past the shed bound, defer
+	// non-urgent background work; the scheduler's urgency override still
+	// drains tenants whose writers are degrading. Requires ShedLatencyP99 —
+	// without a latency target there is no "blown p99" to defer for.
+	if sc := reg.Scheduler(); sc != nil && cfg.ShedLatencyP99 > 0 {
+		pool, bound := s.pool, cfg.ShedLatencyP99
+		sc.SetLoadProbe(func() bool {
+			if pool.queued.Load() == 0 {
+				return false // stale ring samples must not pause an idle server
+			}
+			_, _, p99 := pool.percentiles()
+			return p99 > bound
+		})
+	}
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("POST /v1/overlap", s.handleOverlap)
@@ -247,32 +265,49 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 	return sr.ResponseWriter.Write(p)
 }
 
-// shed answers a search the admission control refused: 429 with a
-// Retry-After derived from the current backlog — queue depth over pool
-// size, scaled by the recent median latency — so well-behaved clients back
-// off proportionally to the overload instead of hammering a fixed beat.
-func (s *Server) shed(w http.ResponseWriter) {
-	p50, _, _ := s.pool.percentiles()
+// retryAfterSecs derives a Retry-After hint from the backlog: queue depth
+// over pool size, scaled by the recent median latency, clamped to [1, 30]
+// seconds. The floor matters: before the first query completes the p50
+// sample window is empty, and an unclamped computation would emit
+// Retry-After: 0 — an instruction to hammer the overloaded server
+// immediately. An empty window substitutes a nominal median instead.
+func retryAfterSecs(queued, workers int64, p50 time.Duration) int64 {
 	if p50 <= 0 {
 		p50 = 50 * time.Millisecond
 	}
-	backlog := (s.pool.queued.Load()/int64(s.pool.size()) + 1) * int64(p50)
+	if workers <= 0 {
+		workers = 1
+	}
+	backlog := (queued/workers + 1) * int64(p50)
 	secs := int64(time.Duration(backlog).Seconds() + 1)
+	if secs < 1 {
+		secs = 1
+	}
 	if secs > 30 {
 		secs = 30
 	}
+	return secs
+}
+
+// shed answers a search the admission control refused: 429 with a
+// Retry-After derived from the current backlog, so well-behaved clients
+// back off proportionally to the overload instead of hammering a fixed
+// beat.
+func (s *Server) shed(w http.ResponseWriter) {
+	p50, _, _ := s.pool.percentiles()
+	secs := retryAfterSecs(s.pool.queued.Load(), int64(s.pool.size()), p50)
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	httpError(w, http.StatusTooManyRequests,
 		fmt.Sprintf("overloaded: %d queries queued on %d workers", s.pool.queued.Load(), s.pool.size()))
 }
 
-// admitGlobal runs the pool-wide admission checks: the queue-depth bound,
-// then (when configured) the latency-percentile bound — if queries are
-// already queueing and the recent p99 exceeds Config.ShedLatencyP99, new
-// arrivals are shed before they deepen the tail. Writes the 429 itself on
-// refusal.
-func (s *Server) admitGlobal(w http.ResponseWriter) bool {
-	if !s.pool.admit() {
+// admitGlobal runs the pool-wide admission checks for one request from
+// col: the tenant's fair-queue bound, then (when configured) the
+// latency-percentile bound — if queries are already queueing and the
+// recent p99 exceeds Config.ShedLatencyP99, new arrivals are shed before
+// they deepen the tail. Writes the 429 itself on refusal.
+func (s *Server) admitGlobal(w http.ResponseWriter, col *collection.Collection) bool {
+	if !s.pool.admit(col.Name(), col.Weight()) {
 		s.shed(w)
 		return false
 	}
@@ -431,25 +466,26 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, col *collec
 	// sheds the query now (429 + Retry-After) rather than queueing it into
 	// a timeout, and a tenant over its rate limit or in-flight cap is
 	// refused before it can touch the shared pool.
-	if !s.admitGlobal(w) {
+	if !s.admitGlobal(w, col) {
 		return
 	}
 	if !s.admitTenant(w, col, 1) {
 		return
 	}
 	defer col.ReleaseSearch(1)
-	// One pool slot per query: concurrent requests beyond the pool size
-	// queue here instead of oversubscribing the CPU. The per-query deadline
-	// spans the queue wait and the search.
+	// One pool slot per query, granted in weighted-fair order across
+	// tenants: concurrent requests beyond the pool size queue in their
+	// tenant's own queue instead of oversubscribing the CPU. The per-query
+	// deadline spans the queue wait and the search.
 	qctx, cancel := s.queryContext(r.Context())
 	defer cancel()
-	if err := s.pool.acquire(qctx); err != nil {
+	if err := s.pool.acquire(qctx, col.Name(), col.Weight()); err != nil {
 		s.searchFailed(w, err)
 		return
 	}
 	start := time.Now()
 	results, stats, err := col.Manager().Search(qctx, req.Query, k)
-	s.pool.release(time.Since(start))
+	s.pool.release(col.Name(), time.Since(start))
 	if err != nil {
 		s.searchFailed(w, err)
 		return
@@ -509,7 +545,7 @@ func (s *Server) serveSearchBatch(w http.ResponseWriter, r *http.Request, col *c
 	// the queue cannot absorb would just spread the overload across its
 	// entries as timeouts. The tenant checks charge the batch all its
 	// entries at once for the same reason.
-	if !s.admitGlobal(w) {
+	if !s.admitGlobal(w, col) {
 		return
 	}
 	if !s.admitTenant(w, col, len(req.Queries)) {
@@ -535,7 +571,7 @@ func (s *Server) serveSearchBatch(w http.ResponseWriter, r *http.Request, col *c
 			// The entry's deadline spans its queue wait and its search.
 			qctx, qcancel := s.queryContext(r.Context())
 			defer qcancel()
-			if err := s.pool.acquire(qctx); err != nil {
+			if err := s.pool.acquire(qctx, col.Name(), col.Weight()); err != nil {
 				if errors.Is(err, context.DeadlineExceeded) {
 					s.pool.timeouts.Add(1)
 					resps[i] = BatchSearchEntry{Error: fmt.Sprintf("query exceeded the %v per-query timeout waiting for a worker", s.cfg.QueryTimeout)}
@@ -544,7 +580,7 @@ func (s *Server) serveSearchBatch(w http.ResponseWriter, r *http.Request, col *c
 			}
 			start := time.Now()
 			results, stats, err := v.Search(qctx, req.Queries[i])
-			s.pool.release(time.Since(start))
+			s.pool.release(col.Name(), time.Since(start))
 			switch {
 			case err == nil:
 				s.recordStreamStats(&stats)
@@ -767,6 +803,10 @@ type InfoResponse struct {
 	// The top-level fields above describe the default collection, as they
 	// always have.
 	Collections []CollectionInfo `json:"collections"`
+	// Scheduler reports the coordinated maintenance scheduler (DESIGN.md
+	// §15): worker occupancy, pause state, retry totals, and per-tenant
+	// backlog scores. Absent when coordinated maintenance is disabled.
+	Scheduler *sched.Stats `json:"scheduler,omitempty"`
 }
 
 // ResilienceInfo is the failure-handling section of /v1/info.
@@ -820,6 +860,11 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	sealed, memSets, tombstones := s.mgr.Segments()
 	p50, p95, p99 := s.pool.percentiles()
 	cs := s.mgr.SimCacheStats()
+	var schedStats *sched.Stats
+	if sc := s.reg.Scheduler(); sc != nil {
+		st := sc.Stats()
+		schedStats = &st
+	}
 	writeJSON(w, http.StatusOK, InfoResponse{
 		Sets:         s.mgr.Len(),
 		Vocabulary:   s.mgr.VocabSize(),
@@ -847,6 +892,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		LazyStream:  s.lazyStreamInfo(),
 		Resilience:  s.resilienceInfo(),
 		Collections: s.collectionsInfo(),
+		Scheduler:   schedStats,
 	})
 }
 
@@ -854,7 +900,7 @@ func (s *Server) collectionsInfo() []CollectionInfo {
 	cols := s.reg.List()
 	out := make([]CollectionInfo, len(cols))
 	for i, c := range cols {
-		out[i] = collectionInfoOf(c)
+		out[i] = s.collectionInfoOf(c)
 	}
 	return out
 }

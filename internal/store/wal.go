@@ -42,6 +42,11 @@ type WALRecord struct {
 type WAL struct {
 	f    FSFile
 	path string
+	// written is the log's current byte length (header + every appended
+	// record): walHeaderLen on a fresh log, the resume offset on a
+	// recovered one. It feeds AppendedBytes — the maintenance-debt measure
+	// "WAL bytes since the last checkpoint" — without a Stat call.
+	written int64
 }
 
 // walHeaderLen is magic(5) + generation(8).
@@ -69,7 +74,7 @@ func CreateWAL(fsys FS, path string, gen uint64) (*WAL, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: sync WAL header: %w", err)
 	}
-	return &WAL{f: f, path: path}, nil
+	return &WAL{f: f, path: path, written: walHeaderLen}, nil
 }
 
 // OpenWAL opens an existing log, verifies it belongs to generation gen,
@@ -95,7 +100,7 @@ func OpenWAL(fsys FS, path string, gen uint64) (*WAL, []WALRecord, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
-	return &WAL{f: f, path: path}, recs, nil
+	return &WAL{f: f, path: path, written: end}, recs, nil
 }
 
 // ResumeWAL opens an existing log for appending at end — the offset just
@@ -118,7 +123,7 @@ func ResumeWAL(fsys FS, path string, end int64) (*WAL, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &WAL{f: f, path: path}, nil
+	return &WAL{f: f, path: path, written: end}, nil
 }
 
 // ScanWAL reads the log read-only: every complete record, the offset just
@@ -227,8 +232,16 @@ func (w *WAL) Append(rec WALRecord) error {
 	if _, err := w.f.Write(buf); err != nil {
 		return fmt.Errorf("store: WAL append: %w", err)
 	}
+	w.written += int64(len(buf))
 	return nil
 }
+
+// AppendedBytes returns the record bytes the log holds past its header —
+// zero right after CreateWAL, growing with every Append, and equal to the
+// un-checkpointed record volume on a resumed log. This is the "WAL bytes
+// since the last checkpoint" half of maintenance debt: a checkpoint swaps
+// in a fresh log, resetting it to zero.
+func (w *WAL) AppendedBytes() int64 { return w.written - walHeaderLen }
 
 // Sync flushes appended records to stable storage.
 func (w *WAL) Sync() error {

@@ -99,6 +99,11 @@ type Config struct {
 	// BatchWorkers bounds concurrent queries inside one SearchBatch call
 	// (default 1: queries run sequentially against the shared snapshot).
 	BatchWorkers int
+	// Maintenance opts registries (NewRegistry/OpenRegistry) into
+	// coordinated background scheduling and graceful write degradation
+	// (DESIGN.md §15). Standalone engines (New/Open) ignore it — they keep
+	// the legacy self-driven maintenance regardless.
+	Maintenance MaintenanceConfig
 }
 
 func (c Config) coreOptions() core.Options {
@@ -291,7 +296,9 @@ func (e *Engine) SimCacheStats() CacheStats { return e.mgr.SimCacheStats() }
 // set. The set is searchable as soon as Insert returns; concurrent
 // searches keep their snapshot. Engines built with NewWithSource return
 // ErrImmutable; engines from a Registry additionally enforce their
-// collection's quota (*QuotaError, nothing applied).
+// collection's quota (*QuotaError, nothing applied) and — when the
+// registry runs coordinated maintenance — the write-stall policy
+// (*MaintenanceBacklogError, nothing applied, retry after RetryAfter).
 func (e *Engine) Insert(s Set) (int, error) {
 	if e.col != nil {
 		id, err := e.col.Insert(s.Name, s.Elements)

@@ -18,6 +18,24 @@ type Quota = collection.Quota
 // with errors.As.
 type QuotaError = collection.QuotaError
 
+// MaintenanceConfig opts a Registry into coordinated background
+// maintenance (DESIGN.md §15): one scheduler owns every collection's
+// compactions and checkpoints under a global concurrency cap
+// (Workers), with weighted fair sharing across collections, retry with
+// backoff on failures, and RocksDB-style write degradation — inserts on
+// a collection whose backlog crosses the slowdown/stall thresholds are
+// refused with *MaintenanceBacklogError instead of silently slowing
+// down. The zero value (Workers == 0) keeps the legacy behavior: each
+// collection maintains itself inline and writes never stall.
+type MaintenanceConfig = collection.MaintenanceConfig
+
+// MaintenanceBacklogError reports an Insert refused because the
+// collection's maintenance debt crossed the slowdown or stall
+// threshold; nothing was applied, and RetryAfter suggests a client
+// backoff. Distinguish it with errors.As. Only registries with
+// coordinated maintenance enabled return it.
+type MaintenanceBacklogError = collection.MaintenanceBacklogError
+
 // ErrCollectionExists is returned by Registry.Create for a taken name.
 var ErrCollectionExists = collection.ErrExists
 
@@ -51,8 +69,9 @@ func NewRegistry(seed []Set, fn Similarity, cfg Config) *Registry {
 		Build: func(dict *sets.Dictionary) index.NeighborSource {
 			return index.NewDynamicFunc(dict, fn)
 		},
-		Opts:   opts,
-		SegCfg: segment.Config{SealThreshold: cfg.SealThreshold, MaxSegments: cfg.MaxSegments, SimCacheSize: cfg.SimCache},
+		Opts:        opts,
+		SegCfg:      segment.Config{SealThreshold: cfg.SealThreshold, MaxSegments: cfg.MaxSegments, SimCacheSize: cfg.SimCache},
+		Maintenance: cfg.Maintenance,
 	})
 	return &Registry{reg: reg, alpha: opts.Alpha, batchWorkers: cfg.BatchWorkers}
 }
@@ -68,8 +87,9 @@ func OpenRegistry(dir string, seed []Set, fn Similarity, cfg Config) (*Registry,
 		Build: func(dict *sets.Dictionary) index.NeighborSource {
 			return index.NewDynamicFunc(dict, fn)
 		},
-		Opts:   opts,
-		SegCfg: segment.Config{SealThreshold: cfg.SealThreshold, MaxSegments: cfg.MaxSegments, SyncWAL: cfg.SyncWAL, SimCacheSize: cfg.SimCache},
+		Opts:        opts,
+		SegCfg:      segment.Config{SealThreshold: cfg.SealThreshold, MaxSegments: cfg.MaxSegments, SyncWAL: cfg.SyncWAL, SimCacheSize: cfg.SimCache},
+		Maintenance: cfg.Maintenance,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,76 @@
+package koios
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRegistryMaintenancePassthrough drives the public Config.Maintenance
+// plumbing end to end: a registry with coordinated maintenance enabled must
+// surface write pressure as a typed *MaintenanceBacklogError (never silent
+// latency) and admit writes again once the scheduler drains the backlog.
+func TestRegistryMaintenancePassthrough(t *testing.T) {
+	reg := NewRegistry(nil, Exact(), Config{
+		SealThreshold: 1, // every insert seals: debt accrues per write
+		Maintenance: MaintenanceConfig{
+			Workers:         1,
+			CompactSegments: 2,
+			SlowdownSealed:  3,
+			StallSealed:     6,
+			Poll:            5 * time.Millisecond,
+			BaseBackoff:     time.Millisecond,
+			MaxBackoff:      10 * time.Millisecond,
+		},
+	})
+	defer reg.Close()
+	eng := reg.Default()
+
+	// Sets of fresh unique tokens make each compaction cost grow with the
+	// admitted total while the per-insert cost stays flat, so the writer
+	// outruns the single maintenance worker and must hit the policy.
+	elems := func(i int) []string {
+		out := make([]string, 40)
+		for j := range out {
+			out[j] = fmt.Sprintf("t%d-%d", i, j)
+		}
+		return out
+	}
+	var mbe *MaintenanceBacklogError
+	refused := -1
+	for i := 0; i < 5000; i++ {
+		_, err := eng.Insert(Set{Name: fmt.Sprintf("s%d", i), Elements: elems(i)})
+		if err == nil {
+			continue
+		}
+		if !errors.As(err, &mbe) {
+			t.Fatalf("insert %d: unexpected error %v", i, err)
+		}
+		refused = i
+		break
+	}
+	if refused < 0 {
+		t.Fatal("5000 inserts never tripped the slowdown/stall policy")
+	}
+	if mbe.Collection != DefaultCollection || mbe.RetryAfter <= 0 {
+		t.Fatalf("backlog error = %+v, want default collection and positive RetryAfter", mbe)
+	}
+
+	// The refusal is transient by design: honoring Retry-After must succeed
+	// once maintenance catches up.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		_, err := eng.Insert(Set{Name: "post-drain", Elements: elems(refused)})
+		if err == nil {
+			break
+		}
+		if !errors.As(err, &mbe) {
+			t.Fatalf("post-drain insert: unexpected error %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog never drained: still %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
